@@ -1,0 +1,157 @@
+package tycoongrid_test
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each iteration regenerates the full artifact (simulation + analysis), so
+// ns/op is the cost of reproducing that experiment end to end:
+//
+//	go test -bench=. -benchmem
+//
+// The same harnesses are printable via `go run ./cmd/marketbench`.
+
+import (
+	"testing"
+
+	"tycoongrid/internal/experiment"
+)
+
+// BenchmarkTable1EqualFunds regenerates Table 1: five users with equal
+// funding on 30 dual-CPU hosts; late arrivals receive lower QoS.
+func BenchmarkTable1EqualFunds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunBestResponseTable(experiment.Table1Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable2TwoPoint regenerates Table 2: funding 100/100/500/500/500
+// with a 5.5 h deadline; money buys latency.
+func BenchmarkTable2TwoPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunBestResponseTable(experiment.Table2Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) != 2 {
+			b.Fatal("want two funding groups")
+		}
+	}
+}
+
+// BenchmarkFigure3NormalPrediction regenerates the guarantee-level capacity
+// curves of Figure 3 from a fresh market trace.
+func BenchmarkFigure3NormalPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFigure3(experiment.DefaultFigure3Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CurvesMHz) != 3 {
+			b.Fatal("want three curves")
+		}
+	}
+}
+
+// BenchmarkFigure4ARForecast regenerates the AR(6)-vs-persistence epsilon
+// comparison of Figure 4 on a 40 h batch-load trace.
+func BenchmarkFigure4ARForecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFigure4(experiment.DefaultFigure4Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.EpsilonAR <= 0 {
+			b.Fatal("degenerate epsilon")
+		}
+	}
+}
+
+// BenchmarkFigure5Portfolio regenerates the risk-free vs equal-share
+// portfolio comparison of Figure 5.
+func BenchmarkFigure5Portfolio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFigure5(experiment.DefaultFigure5Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.RiskFree) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkFigure6Windows regenerates the hour/day/week price-distribution
+// windows of Figure 6 over a simulated week of diurnal load.
+func BenchmarkFigure6Windows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFigure6(experiment.DefaultFigure6Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Windows) != 3 {
+			b.Fatal("want three windows")
+		}
+	}
+}
+
+// BenchmarkFigure7Approximation regenerates the window-approximation
+// accuracy simulation of Figure 7 (Normal, Exponential, Beta inputs).
+func BenchmarkFigure7Approximation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFigure7(experiment.DefaultFigure7Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Reports) != 3 {
+			b.Fatal("want three distributions")
+		}
+	}
+}
+
+// BenchmarkAblationScheduler compares the market against the FIFO batch
+// baseline on the Table 2 workload (DESIGN.md ablation A).
+func BenchmarkAblationScheduler(b *testing.B) {
+	p := experiment.Table2Params()
+	p.SubJobs = 30
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAblationScheduler(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Market.HighLatency <= 0 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkAblationCap compares utility-ranked vs bid-ranked host capping
+// (DESIGN.md ablation B).
+func BenchmarkAblationCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAblationCap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UtilityRanked <= res.BidRanked {
+			b.Fatal("ablation shape broke")
+		}
+	}
+}
+
+// BenchmarkSLACalibration prices SLAs from normal and empirical price models
+// and measures realized violation rates (the paper's §7 future work).
+func BenchmarkSLACalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunSLACalibration(experiment.DefaultSLAParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("want three confidence levels")
+		}
+	}
+}

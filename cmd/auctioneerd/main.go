@@ -1,0 +1,91 @@
+// Command auctioneerd runs one host's market daemon: the continuous
+// proportional-share auction with its price-statistics windows, reallocating
+// every interval (the paper's 10 seconds) and optionally registering with a
+// Service Location Service.
+//
+// Usage:
+//
+//	auctioneerd -addr :7710 -host h1 -capacity 5600 \
+//	    -interval 10s -sls http://localhost:7701 -site hplabs
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"tycoongrid/internal/auction"
+	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/sls"
+)
+
+func main() {
+	addr := flag.String("addr", ":7710", "listen address")
+	host := flag.String("host", "h1", "host id")
+	capacity := flag.Float64("capacity", 5600, "host CPU capacity in MHz")
+	cpus := flag.Int("cpus", 2, "physical CPUs (advertised to the SLS)")
+	maxVMs := flag.Int("maxvms", 30, "virtual machine limit (advertised)")
+	interval := flag.Duration("interval", auction.DefaultInterval, "reallocation interval")
+	reserve := flag.Float64("reserve", 1.0/3600, "reserve price, credits/second")
+	slsURL := flag.String("sls", "", "SLS base URL to register with (optional)")
+	site := flag.String("site", "", "owning site label")
+	endpoint := flag.String("endpoint", "", "advertised endpoint (default http://<addr>)")
+	flag.Parse()
+
+	market, err := auction.NewMarket(auction.Config{
+		HostID:       *host,
+		CapacityMHz:  *capacity,
+		ReservePrice: *reserve,
+		Start:        time.Now(),
+	})
+	if err != nil {
+		log.Fatalf("auctioneerd: %v", err)
+	}
+	svc, err := httpapi.NewAuctioneerService(market, map[string]int{
+		"hour": int(time.Hour / *interval),
+		"day":  int(24 * time.Hour / *interval),
+		"week": int(7 * 24 * time.Hour / *interval),
+	})
+	if err != nil {
+		log.Fatalf("auctioneerd: %v", err)
+	}
+
+	// Reallocation loop.
+	go func() {
+		for now := range time.Tick(*interval) {
+			charges, refunds := market.Tick(now)
+			if len(charges)+len(refunds) > 0 {
+				log.Printf("auctioneerd: tick price=%.6g charges=%d refunds=%d",
+					market.SpotPrice(), len(charges), len(refunds))
+			}
+		}
+	}()
+
+	// SLS registration and heartbeats.
+	if *slsURL != "" {
+		ep := *endpoint
+		if ep == "" {
+			ep = "http://localhost" + *addr
+		}
+		client := httpapi.NewSLSClient(*slsURL, nil)
+		info := sls.HostInfo{
+			ID: *host, Endpoint: ep, CapacityMHz: *capacity,
+			CPUs: *cpus, MaxVMs: *maxVMs, Site: *site,
+		}
+		if err := client.Register(info); err != nil {
+			log.Printf("auctioneerd: SLS registration failed: %v", err)
+		}
+		go func() {
+			for range time.Tick(*interval * 3) {
+				if err := client.Heartbeat(*host, market.SpotPrice()); err != nil {
+					log.Printf("auctioneerd: heartbeat: %v", err)
+					_ = client.Register(info) // SLS may have restarted
+				}
+			}
+		}()
+	}
+
+	log.Printf("auctioneerd: host %s (%.0f MHz) listening on %s", *host, *capacity, *addr)
+	log.Fatal(http.ListenAndServe(*addr, svc))
+}

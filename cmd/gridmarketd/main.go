@@ -1,0 +1,157 @@
+// Command gridmarketd runs the complete grid market in one process — PKI,
+// bank, a simulated Tycoon cluster, the best-response scheduling agent and
+// the ARC-analog job manager — served over HTTP with the cluster advancing
+// in real time. It is the quickest way to poke at the whole system with
+// nothing but curl:
+//
+//	gridmarketd -addr :7750 -hosts 8 &
+//
+//	# create a funded demo user (demo keys live server-side; see
+//	# examples/quickstart for the production local-key flow)
+//	curl -X POST localhost:7750/demo/users -d '{"name":"alice","grant":"500"}'
+//
+//	# mint a transfer token for 50 credits
+//	TOKEN=$(curl -sX POST localhost:7750/demo/tokens \
+//	    -d '{"user":"alice","amount":"50"}' | sed 's/.*"token":"//;s/".*//')
+//
+//	# submit a 4-node proteome-scan style job
+//	curl -X POST localhost:7750/jobs --data-binary \
+//	  "&(executable=scan.sh)(jobname=demo)(count=4)(cputime=2)(walltime=30)(transfertoken=$TOKEN)"
+//
+//	# watch it run
+//	curl localhost:7750/jobs
+//	curl localhost:7750/monitor
+//	curl localhost:7750/bank/accounts/alice
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/box"
+	"tycoongrid/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":7750", "listen address")
+	hosts := flag.Int("hosts", 8, "simulated hosts")
+	cpus := flag.Int("cpus", 2, "CPUs per host")
+	mhz := flag.Float64("mhz", 2800, "MHz per CPU")
+	interval := flag.Duration("interval", 10*time.Second, "market reallocation interval")
+	speedup := flag.Float64("speedup", 60, "simulated seconds per wall second")
+	flag.Parse()
+	if *speedup <= 0 {
+		log.Fatal("gridmarketd: -speedup must be positive")
+	}
+
+	cfg := box.DefaultConfig()
+	cfg.Hosts = *hosts
+	cfg.CPUsPerHost = *cpus
+	cfg.CPUMHz = *mhz
+	cfg.Interval = *interval
+	cfg.Start = time.Now()
+	b, err := box.New(cfg)
+	if err != nil {
+		log.Fatalf("gridmarketd: %v", err)
+	}
+	jobs, err := httpapi.NewJobService(b.Manager, b.Engine)
+	if err != nil {
+		log.Fatalf("gridmarketd: %v", err)
+	}
+
+	// Drive the simulation along the wall clock, accelerated: one wall
+	// second advances the market by -speedup simulated seconds, so a
+	// "2-CPU-minute" demo job completes in a couple of wall seconds.
+	go func() {
+		wallStart := time.Now()
+		simStart := cfg.Start
+		for range time.Tick(200 * time.Millisecond) {
+			elapsed := time.Since(wallStart)
+			jobs.Drive(simStart.Add(time.Duration(float64(elapsed) * *speedup)))
+		}
+	}()
+
+	demo := &demoAPI{box: b, jobs: jobs}
+	mux := http.NewServeMux()
+	mux.Handle("/jobs", jobs)
+	mux.Handle("/boosts", jobs)
+	mux.Handle("/cancels", jobs)
+	mux.Handle("/monitor", jobs)
+	mux.Handle("/bank/", http.StripPrefix("/bank", httpapi.NewBankService(b.Bank)))
+	mux.HandleFunc("POST /demo/users", demo.createUser)
+	mux.HandleFunc("POST /demo/tokens", demo.mintToken)
+
+	log.Printf("gridmarketd: %d hosts x %d CPUs, %gx time acceleration, listening on %s",
+		*hosts, *cpus, *speedup, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// demoAPI mints server-side demo identities; the box serializes access to
+// the single-threaded engine through the job service lock, so the demo API
+// needs its own mutex only for the box's user map.
+type demoAPI struct {
+	mu   sync.Mutex
+	box  *box.Box
+	jobs *httpapi.JobService
+}
+
+type userReq struct {
+	Name  string `json:"name"`
+	Grant string `json:"grant"`
+}
+
+type tokenReq struct {
+	User   string `json:"user"`
+	Amount string `json:"amount"`
+}
+
+func (d *demoAPI) createUser(w http.ResponseWriter, r *http.Request) {
+	var req userReq
+	if err := httpapi.ReadJSON(r, &req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	grant, err := bank.ParseAmount(req.Grant)
+	if err != nil || grant < 0 {
+		httpapi.WriteError(w, http.StatusBadRequest, errors.New("gridmarketd: bad grant amount"))
+		return
+	}
+	d.mu.Lock()
+	var u *box.User
+	d.jobs.WithLock(func() { u, err = d.box.CreateUser(req.Name, grant) })
+	d.mu.Unlock()
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	httpapi.WriteJSON(w, map[string]string{
+		"name": u.Name, "account": string(u.Account), "grant": grant.String(),
+	})
+}
+
+func (d *demoAPI) mintToken(w http.ResponseWriter, r *http.Request) {
+	var req tokenReq
+	if err := httpapi.ReadJSON(r, &req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	amount, err := bank.ParseAmount(req.Amount)
+	if err != nil || amount <= 0 {
+		httpapi.WriteError(w, http.StatusBadRequest, errors.New("gridmarketd: bad token amount"))
+		return
+	}
+	d.mu.Lock()
+	var tok string
+	d.jobs.WithLock(func() { tok, err = d.box.MintToken(req.User, amount) })
+	d.mu.Unlock()
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	httpapi.WriteJSON(w, map[string]string{"token": tok})
+}

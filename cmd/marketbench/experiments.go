@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tycoongrid/internal/experiment"
+)
+
+// runExperiment dispatches one named experiment with the given seed and
+// returns its printable result.
+func runExperiment(name string, seed int64, csvDir string) (string, error) {
+	switch name {
+	case "table1":
+		p := experiment.Table1Params()
+		p.World.Seed = seed
+		res, err := experiment.RunBestResponseTable(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir, "table1.csv"); err != nil {
+				return "", err
+			}
+		}
+		return "Equal distribution of funds (paper Table 1)\n" + res.String(), nil
+	case "table2":
+		p := experiment.Table2Params()
+		p.World.Seed = seed
+		res, err := experiment.RunBestResponseTable(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir, "table2.csv"); err != nil {
+				return "", err
+			}
+		}
+		return "Two-point distribution of funds 100/100/500/500/500 (paper Table 2)\n" + res.String(), nil
+	case "figure3":
+		p := experiment.DefaultFigure3Params()
+		p.Load.World.Seed = seed
+		res, err := experiment.RunFigure3(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "Normal-distribution prediction with guarantee levels (paper Figure 3)\n" + res.String(), nil
+	case "figure4":
+		p := experiment.DefaultFigure4Params()
+		p.Load.World.Seed = seed
+		res, err := experiment.RunFigure4(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "AR(6) one-hour forecast vs persistence benchmark (paper Figure 4)\n" + res.String(), nil
+	case "figure5":
+		p := experiment.DefaultFigure5Params()
+		p.Seed = seed
+		res, err := experiment.RunFigure5(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "Risk-free portfolio vs equal shares (paper Figure 5)\n" + res.String(), nil
+	case "figure6":
+		p := experiment.DefaultFigure6Params()
+		p.Load.World.Seed = seed
+		res, err := experiment.RunFigure6(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "Price distribution in hour/day/week windows (paper Figure 6)\n" + res.String(), nil
+	case "figure7":
+		p := experiment.DefaultFigure7Params()
+		p.Seed = seed
+		res, err := experiment.RunFigure7(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "Window approximation of Normal/Exp/Beta inputs (paper Figure 7)\n" + res.String(), nil
+	case "ablation-scheduler":
+		p := experiment.Table2Params()
+		p.World.Seed = seed
+		p.SubJobs = 30
+		res, err := experiment.RunAblationScheduler(p)
+		if err != nil {
+			return "", err
+		}
+		return "Market vs FIFO batch scheduling on the Table 2 workload\n" + res.String(), nil
+	case "ablation-cap":
+		res, err := experiment.RunAblationCap()
+		if err != nil {
+			return "", err
+		}
+		return "Host-cap ranking: utility contribution vs raw bid size\n" + res.String(), nil
+	case "ablation-smoothing":
+		p := experiment.DefaultFigure4Params()
+		p.Load.World.Seed = seed
+		p.ResampleSnapshots = 1
+		p.Lambda = 2000
+		p.HorizonSteps = 360
+		p.Stride = 360
+		p.FitWindow = 17280
+		res, err := experiment.RunAblationSmoothing(p)
+		if err != nil {
+			return "", err
+		}
+		return "AR smoothing pre-pass ablation (raw 10 s snapshots)\n" + res.String(), nil
+	case "sla":
+		p := experiment.DefaultSLAParams()
+		p.Load.World.Seed = seed
+		res, err := experiment.RunSLACalibration(p)
+		if err != nil {
+			return "", err
+		}
+		return "SLA pricing calibration, normal vs empirical model (paper §7 future work)\n" + res.String(), nil
+	case "ablation-interval":
+		res, err := experiment.RunAblationInterval([]time.Duration{
+			10 * time.Second, time.Minute, 5 * time.Minute,
+		})
+		if err != nil {
+			return "", err
+		}
+		return "Reallocation-interval sweep on the Table 2 workload\n" + res.String(), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q", name)
+}

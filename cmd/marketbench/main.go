@@ -1,0 +1,64 @@
+// Command marketbench regenerates every table and figure of the paper's
+// evaluation section on the simulated grid market. Each experiment prints
+// rows shaped like the paper's artifact; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	marketbench -run all            # everything (default)
+//	marketbench -run table1         # Table 1: equal funding
+//	marketbench -run table2         # Table 2: two-point funding
+//	marketbench -run figure3        # normal-distribution prediction
+//	marketbench -run figure4        # AR(6) forecast vs persistence
+//	marketbench -run figure5        # risk-free vs equal-share portfolio
+//	marketbench -run figure6        # hour/day/week price distributions
+//	marketbench -run figure7        # window approximation accuracy
+//	marketbench -seed 2006          # alternate RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	run := flag.String("run", "all",
+		"experiment: all|table1|table2|figure3|...|figure7|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
+	seed := flag.Int64("seed", 2006, "RNG seed for all experiments")
+	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files (optional)")
+	flag.Parse()
+
+	names := []string{
+		"table1", "table2", "figure3", "figure4", "figure5", "figure6", "figure7",
+		"ablation-scheduler", "ablation-cap", "ablation-smoothing", "ablation-interval",
+		"sla",
+	}
+	if *run != "all" {
+		found := false
+		for _, n := range names {
+			if n == *run {
+				names = []string{n}
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("marketbench: unknown experiment %q", *run)
+		}
+	}
+	for _, name := range names {
+		fmt.Printf("=== %s ===\n", strings.ToUpper(name))
+		start := time.Now()
+		out, err := runExperiment(name, *seed, *csvDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marketbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

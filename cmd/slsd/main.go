@@ -1,0 +1,38 @@
+// Command slsd runs the Service Location Service daemon: the directory of
+// live auctioneers. Auctioneers register and heartbeat here; scheduling
+// agents query it for candidate hosts.
+//
+// Usage:
+//
+//	slsd -addr :7701 -ttl 60s
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/sls"
+)
+
+func main() {
+	addr := flag.String("addr", ":7701", "listen address")
+	ttl := flag.Duration("ttl", 60*time.Second, "host liveness TTL")
+	prune := flag.Duration("prune", 5*time.Minute, "expired-entry sweep interval")
+	flag.Parse()
+
+	reg := sls.New(sim.WallClock{}, sls.WithTTL(*ttl))
+	go func() {
+		for range time.Tick(*prune) {
+			if n := reg.Prune(); n > 0 {
+				log.Printf("slsd: pruned %d expired hosts", n)
+			}
+		}
+	}()
+
+	log.Printf("slsd: listening on %s (ttl %v)", *addr, *ttl)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewSLSService(reg)))
+}

@@ -1,0 +1,20 @@
+// Package tycoongrid is a from-scratch Go reproduction of "Market-Based
+// Resource Allocation using Price Prediction in a High Performance Computing
+// Grid for Scientific Applications" (Sandholm, Lai, Andrade Ortíz, Odeberg —
+// HPDC 2006).
+//
+// The repository implements the full system the paper describes: the Tycoon
+// market substrate (bank, service location service, per-host proportional-
+// share auctioneers), the Best Response bid optimizer, the Grid integration
+// (xRSL job descriptions, an ARC-analog job manager, the scheduling agent),
+// the transfer-token security model over an Ed25519 PKI, the §4 price
+// prediction suite (stateless normal model, AR(k) with smoothing-spline
+// pre-pass, Markowitz portfolios, moving-window statistics), and a
+// discrete-event cluster simulator standing in for the paper's physical
+// testbed.
+//
+// Start with README.md for the architecture overview, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation; `cmd/marketbench` prints them.
+package tycoongrid

@@ -1,0 +1,3 @@
+module tycoongrid
+
+go 1.22

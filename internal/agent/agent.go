@@ -1,0 +1,662 @@
+// Package agent implements the paper's scheduling agent (§2.3, §3): the
+// resource-broker side of the Grid market integration. The agent verifies a
+// job's transfer token, creates a funded sub-account, runs the Best Response
+// algorithm to distribute bids over candidate hosts, creates virtual
+// machines by starting tasks, monitors sub-jobs, supports performance
+// boosting with additional funds, and refunds unspent balances when the job
+// completes — "job stage-in, execution, monitoring, performance boosting (by
+// adding funds) and stage-out are all handled by the agent".
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tycoongrid/internal/auction"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/core"
+	"tycoongrid/internal/grid"
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/token"
+	"tycoongrid/internal/xrsl"
+)
+
+// JobState is a job's lifecycle state.
+type JobState int
+
+// Job lifecycle states.
+const (
+	StateRunning JobState = iota
+	StateDone
+	StateFailed
+)
+
+// String renders the state.
+func (s JobState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// SubJob tracks one chunk's execution.
+type SubJob struct {
+	Index   int
+	Host    string
+	TaskID  string
+	Started time.Time
+	Done    time.Time
+}
+
+// Latency returns the sub-job's wall-clock duration (zero until done).
+func (s SubJob) Latency() time.Duration {
+	if s.Done.IsZero() {
+		return 0
+	}
+	return s.Done.Sub(s.Started)
+}
+
+// Job is one submitted grid task (a batch of sub-jobs).
+type Job struct {
+	ID         string
+	DN         pki.DN
+	SubAccount bank.AccountID
+	Budget     bank.Amount
+	Deadline   time.Time
+	Submitted  time.Time
+	State      JobState
+
+	Hosts   []string // hosts funded by the best response placement
+	SubJobs []SubJob
+	Charged bank.Amount // money actually paid to hosts
+
+	// OnComplete, when set before the job finishes, fires once when the
+	// last sub-job completes (after refunds are issued). The ARC layer uses
+	// it to trigger stage-out.
+	OnComplete func(*Job)
+
+	chunks  []float64 // remaining chunk sizes (MHz-seconds), FIFO
+	envs    []string
+	busy    map[string]bool // host -> has a running sub-job of this job
+	done    int
+	total   int
+	endedAt time.Time
+}
+
+// Completed reports how many sub-jobs have finished.
+func (j *Job) Completed() int { return j.done }
+
+// Total returns the number of sub-jobs.
+func (j *Job) Total() int { return j.total }
+
+// Duration returns submission-to-last-completion wall time (zero while
+// running).
+func (j *Job) Duration() time.Duration {
+	if j.endedAt.IsZero() {
+		return 0
+	}
+	return j.endedAt.Sub(j.Submitted)
+}
+
+// MeanLatency returns the average completed sub-job latency.
+func (j *Job) MeanLatency() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, s := range j.SubJobs {
+		if !s.Done.IsZero() {
+			sum += s.Latency()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// NodesUsed returns the number of distinct hosts that ran sub-jobs.
+func (j *Job) NodesUsed() int {
+	seen := map[string]bool{}
+	for _, s := range j.SubJobs {
+		seen[s.Host] = true
+	}
+	return len(seen)
+}
+
+// CostRate returns charged credits per hour of job wall time — the paper's
+// "Cost($/h)" column.
+func (j *Job) CostRate() float64 {
+	d := j.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return j.Charged.Credits() / d.Hours()
+}
+
+// Config wires an Agent.
+type Config struct {
+	Cluster  *grid.Cluster
+	Bank     *bank.Bank
+	Identity *pki.Identity  // broker identity (owns the broker account)
+	Account  bank.AccountID // broker bank account tokens pay into
+	Verifier *token.Verifier
+	// HostOwnerAccount maps a host to the account its earnings accrue to.
+	// Defaults to one shared "grid-earnings" account created on first use.
+	HostOwnerAccount func(hostID string) bank.AccountID
+	// Hosts restricts this agent to a subset of the cluster's hosts — the
+	// paper's partitioned-agent deployment ("the agent itself can be
+	// replicated and partitioned to pick up a different set of compute
+	// nodes", §3). Empty means the whole cluster.
+	Hosts []string
+}
+
+// Agent is the broker-side scheduler. Not safe for concurrent use; it runs
+// inside the simulation's single-threaded event loop.
+type Agent struct {
+	cfg      Config
+	jobs     map[string]*Job
+	byBidder map[auction.BidderID]*Job
+	seq      int
+	earnings bank.AccountID
+	pump     *sim.Ticker
+}
+
+// Errors returned by the agent.
+var (
+	ErrUnknownJob = errors.New("agent: unknown job")
+	ErrJobDone    = errors.New("agent: job already finished")
+	ErrNoBudget   = errors.New("agent: token amount too small to fund any host")
+	// ErrHoldBack is returned when the job's minhosts threshold (paper
+	// §5.3's proposed hold-back policy) cannot be met; the job's funds are
+	// refunded in full.
+	ErrHoldBack = errors.New("agent: best response funded fewer hosts than minhosts")
+)
+
+// New creates an agent and installs its charge/refund hooks on the cluster.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Cluster == nil || cfg.Bank == nil || cfg.Identity == nil || cfg.Verifier == nil {
+		return nil, errors.New("agent: incomplete configuration")
+	}
+	if cfg.Account == "" {
+		return nil, errors.New("agent: empty broker account")
+	}
+	a := &Agent{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		byBidder: make(map[auction.BidderID]*Job),
+	}
+	// Route market charges to bank transfers: sub-account -> host earnings.
+	// Chain rather than replace any existing hook, so replicated agents
+	// (paper §3: "the agent itself can be replicated and partitioned") can
+	// share one cluster — each ignores bidders it does not manage.
+	if prev := cfg.Cluster.OnCharge; prev != nil {
+		cfg.Cluster.OnCharge = func(hostID string, ch auction.Charge) {
+			prev(hostID, ch)
+			a.onCharge(hostID, ch)
+		}
+	} else {
+		cfg.Cluster.OnCharge = a.onCharge
+	}
+	return a, nil
+}
+
+func (a *Agent) earningsAccount(hostID string) bank.AccountID {
+	if a.cfg.HostOwnerAccount != nil {
+		return a.cfg.HostOwnerAccount(hostID)
+	}
+	if a.earnings == "" {
+		a.earnings = "grid-earnings"
+		if _, err := a.cfg.Bank.CreateAccount(a.earnings, a.cfg.Identity.Public()); err != nil &&
+			!errors.Is(err, bank.ErrDuplicateAccount) {
+			panic(fmt.Sprintf("agent: creating earnings account: %v", err))
+		}
+	}
+	return a.earnings
+}
+
+// onCharge moves real money for every market charge.
+func (a *Agent) onCharge(hostID string, ch auction.Charge) {
+	job, ok := a.byBidder[ch.Bidder]
+	if !ok {
+		return // bidder not managed by this agent
+	}
+	dest := a.earningsAccount(hostID)
+	if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, bank.AccountID(ch.Bidder), dest,
+		ch.Amount, bank.EntryCharge, "cpu "+hostID); err != nil {
+		// The sub-account holds the full verified budget and market charges
+		// never exceed placed bids, so this indicates an internal bug.
+		panic(fmt.Sprintf("agent: charging %s: %v", ch.Bidder, err))
+	}
+	job.Charged += ch.Amount
+}
+
+// Submit verifies tok, funds a sub-account, distributes bids with Best
+// Response, and starts the job's sub-jobs. chunkWork lists each sub-job's
+// size in MHz-seconds; jr.Count caps concurrent hosts.
+func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64) (*Job, error) {
+	if jr == nil || len(chunkWork) == 0 {
+		return nil, errors.New("agent: empty job")
+	}
+	now := a.cfg.Cluster.Engine().Now()
+	amount, err := a.cfg.Verifier.Verify(tok, now)
+	if err != nil {
+		return nil, fmt.Errorf("agent: token rejected: %w", err)
+	}
+
+	a.seq++
+	jobID := fmt.Sprintf("job-%04d", a.seq)
+	sub, err := a.cfg.Bank.CreateSubAccount(a.cfg.Account, jobID, a.cfg.Identity.Public())
+	if err != nil {
+		return nil, fmt.Errorf("agent: sub-account: %w", err)
+	}
+	if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, a.cfg.Account, sub.ID, amount,
+		bank.EntryTransfer, "fund "+jobID); err != nil {
+		return nil, fmt.Errorf("agent: funding sub-account: %w", err)
+	}
+
+	deadline := now.Add(jr.Deadline())
+	job := &Job{
+		ID:         jobID,
+		DN:         tok.GridDN,
+		SubAccount: sub.ID,
+		Budget:     amount,
+		Deadline:   deadline,
+		Submitted:  now,
+		State:      StateRunning,
+		chunks:     append([]float64(nil), chunkWork...),
+		envs:       jr.RuntimeEnvs,
+		busy:       make(map[string]bool),
+		total:      len(chunkWork),
+	}
+
+	if err := a.placeBids(job, jr.Count); err != nil {
+		a.unwind(job)
+		return nil, err
+	}
+	// The paper's hold-back policy: if the market is too expensive to fund
+	// the required number of hosts, do not start at all — refund instead of
+	// delivering degraded QoS.
+	if jr.MinHosts > 0 && len(job.Hosts) < jr.MinHosts {
+		a.unwind(job)
+		return nil, fmt.Errorf("%w: funded %d, need %d", ErrHoldBack, len(job.Hosts), jr.MinHosts)
+	}
+	a.jobs[jobID] = job
+	a.byBidder[auction.BidderID(sub.ID)] = job
+
+	// Launch the first wave: one sub-job per funded host. Hosts whose VM
+	// slots are all taken right now are fine — the pump ticker retries
+	// queued chunks every reallocation interval.
+	for _, h := range job.Hosts {
+		if len(job.chunks) == 0 {
+			break
+		}
+		a.startChunk(job, h)
+	}
+	a.ensurePump()
+	return job, nil
+}
+
+// ensurePump starts the retry ticker that re-attempts queued chunks (e.g.
+// after a host's VM limit rejected them) once per reallocation interval.
+func (a *Agent) ensurePump() {
+	if a.pump != nil {
+		return
+	}
+	t, err := a.cfg.Cluster.Engine().Every(a.cfg.Cluster.Interval(), func() {
+		for _, job := range a.jobs {
+			if job.State != StateRunning || len(job.chunks) == 0 {
+				continue
+			}
+			for _, h := range job.Hosts {
+				if len(job.chunks) == 0 {
+					break
+				}
+				a.startChunk(job, h)
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("agent: starting pump: %v", err))
+	}
+	a.pump = t
+}
+
+// placeBids runs Best Response over the cluster's hosts and enters bids for
+// the job's sub-account.
+func (a *Agent) placeBids(job *Job, count int) error {
+	cl := a.cfg.Cluster
+	bidder := auction.BidderID(job.SubAccount)
+	now := cl.Engine().Now()
+	horizon := job.Deadline.Sub(now).Seconds()
+	if horizon <= 0 {
+		return errors.New("agent: deadline already passed")
+	}
+
+	var hosts []core.Host
+	for _, id := range a.hostIDs() {
+		h, err := cl.Host(id)
+		if err != nil {
+			return err
+		}
+		hosts = append(hosts, core.Host{
+			ID:         id,
+			Preference: h.Market.CapacityMHz(),
+			Price:      h.Market.PriceExcluding(bidder),
+		})
+	}
+	budgetRate := job.Budget.Credits() / horizon
+	allocs, err := core.BestResponse(budgetRate, hosts)
+	if err != nil {
+		return fmt.Errorf("agent: best response: %w", err)
+	}
+	if count > 0 && len(allocs) > count {
+		allocs, err = core.Rebalance(budgetRate, core.TopNByUtility(allocs, count))
+		if err != nil {
+			return fmt.Errorf("agent: rebalance: %w", err)
+		}
+	}
+	var allocated bank.Amount
+	for _, al := range allocs {
+		budget, err := bank.FromCredits(al.Bid * horizon)
+		if err != nil || budget <= 0 {
+			continue
+		}
+		// Rounding each host budget to the nearest microcredit can push the
+		// total past the verified amount; never bid more than the
+		// sub-account holds.
+		if allocated+budget > job.Budget {
+			budget = job.Budget - allocated
+		}
+		if budget <= 0 {
+			break
+		}
+		if _, err := cl.PlaceBid(al.Host.ID, bidder, budget, job.Deadline); err != nil {
+			return fmt.Errorf("agent: bidding on %s: %w", al.Host.ID, err)
+		}
+		allocated += budget
+		job.Hosts = append(job.Hosts, al.Host.ID)
+	}
+	sort.Strings(job.Hosts)
+	if len(job.Hosts) == 0 {
+		return ErrNoBudget
+	}
+	return nil
+}
+
+// startChunk pops the next chunk and runs it on host. One concurrent
+// sub-job per host per job keeps the paper's one-VM-per-user-per-machine
+// restriction.
+func (a *Agent) startChunk(job *Job, host string) {
+	if len(job.chunks) == 0 || job.busy[host] {
+		return
+	}
+	work := job.chunks[0]
+	idx := job.total - len(job.chunks)
+	bidder := auction.BidderID(job.SubAccount)
+	t, err := a.cfg.Cluster.StartTask(host, bidder, job.envs, work, func(t *grid.Task) {
+		a.onTaskDone(job, host, t)
+	})
+	if err != nil {
+		// Host cannot take the chunk now (e.g. VM limit); leave the chunk
+		// queued — it will be retried when any sub-job completes.
+		return
+	}
+	job.chunks = job.chunks[1:]
+	job.busy[host] = true
+	job.SubJobs = append(job.SubJobs, SubJob{
+		Index:   idx,
+		Host:    host,
+		TaskID:  t.ID,
+		Started: a.cfg.Cluster.Engine().Now(),
+	})
+}
+
+// onTaskDone records completion and schedules the next chunk.
+func (a *Agent) onTaskDone(job *Job, host string, t *grid.Task) {
+	for i := range job.SubJobs {
+		if job.SubJobs[i].TaskID == t.ID {
+			job.SubJobs[i].Done = t.DoneAt
+			break
+		}
+	}
+	job.done++
+	job.busy[host] = false
+	if job.done >= job.total {
+		a.finish(job)
+		return
+	}
+	// Keep this host busy with the next chunk; also retry hosts that were
+	// previously full.
+	a.startChunk(job, host)
+	for _, h := range job.Hosts {
+		if len(job.chunks) == 0 {
+			break
+		}
+		a.startChunk(job, h)
+	}
+}
+
+// unwind cancels any placed bids and returns the job's full sub-account
+// balance to the broker — used when a submission is rejected after funding
+// (hold-back policy or a bidding failure).
+func (a *Agent) unwind(job *Job) {
+	bidder := auction.BidderID(job.SubAccount)
+	for _, h := range job.Hosts {
+		host, err := a.cfg.Cluster.Host(h)
+		if err != nil {
+			continue
+		}
+		if _, err := host.Market.CancelBid(bidder); err != nil &&
+			!errors.Is(err, auction.ErrUnknownBidder) {
+			panic(fmt.Sprintf("agent: unwinding bid on %s: %v", h, err))
+		}
+	}
+	job.Hosts = nil
+	job.State = StateFailed
+	bal, err := a.cfg.Bank.Balance(job.SubAccount)
+	if err == nil && bal > 0 {
+		if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, job.SubAccount, a.cfg.Account,
+			bal, bank.EntryRefund, "hold-back refund "+job.ID); err != nil {
+			panic(fmt.Sprintf("agent: unwinding %s: %v", job.ID, err))
+		}
+	}
+}
+
+// finish cancels outstanding bids and refunds the sub-account's unspent
+// balance to the broker account ("the outstanding balance will be refunded
+// to the user").
+func (a *Agent) finish(job *Job) {
+	job.State = StateDone
+	// Exact end: the latest sub-job completion (back-dated by the grid).
+	job.endedAt = latestDone(job.SubJobs, a.cfg.Cluster.Engine().Now())
+	bidder := auction.BidderID(job.SubAccount)
+	for _, h := range job.Hosts {
+		host, err := a.cfg.Cluster.Host(h)
+		if err != nil {
+			continue
+		}
+		if _, err := host.Market.CancelBid(bidder); err != nil &&
+			!errors.Is(err, auction.ErrUnknownBidder) {
+			panic(fmt.Sprintf("agent: cancel bid on %s: %v", h, err))
+		}
+	}
+	bal, err := a.cfg.Bank.Balance(job.SubAccount)
+	if err == nil && bal > 0 {
+		if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, job.SubAccount, a.cfg.Account,
+			bal, bank.EntryRefund, "refund "+job.ID); err != nil {
+			panic(fmt.Sprintf("agent: refund %s: %v", job.ID, err))
+		}
+	}
+	if job.OnComplete != nil {
+		job.OnComplete(job)
+	}
+}
+
+func latestDone(subs []SubJob, fallback time.Time) time.Time {
+	latest := time.Time{}
+	for _, s := range subs {
+		if s.Done.After(latest) {
+			latest = s.Done
+		}
+	}
+	if latest.IsZero() {
+		return fallback
+	}
+	return latest
+}
+
+// Cancel aborts a running job: running tasks are killed, queued chunks are
+// dropped, outstanding bids cancelled, and the unspent balance refunded to
+// the broker account. Completed sub-job records are kept.
+func (a *Agent) Cancel(jobID string) error {
+	job, ok := a.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	if job.State != StateRunning {
+		return ErrJobDone
+	}
+	// Kill running tasks.
+	for _, s := range job.SubJobs {
+		if s.Done.IsZero() {
+			if err := a.cfg.Cluster.CancelTask(s.Host, s.TaskID); err != nil {
+				// Already finished in this tick; harmless.
+				continue
+			}
+		}
+	}
+	job.chunks = nil
+	a.unwind(job) // cancels bids, refunds, marks StateFailed
+	return nil
+}
+
+// Boost verifies an additional transfer token and spreads its amount over
+// the job's funded hosts proportionally to their current bids — the paper's
+// "jobs that have been submitted may be boosted with additional funding to
+// complete sooner".
+func (a *Agent) Boost(jobID string, tok token.Token) error {
+	job, ok := a.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	if job.State != StateRunning {
+		return ErrJobDone
+	}
+	now := a.cfg.Cluster.Engine().Now()
+	amount, err := a.cfg.Verifier.Verify(tok, now)
+	if err != nil {
+		return fmt.Errorf("agent: boost token rejected: %w", err)
+	}
+	if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, a.cfg.Account, job.SubAccount,
+		amount, bank.EntryTransfer, "boost "+jobID); err != nil {
+		return err
+	}
+	job.Budget += amount
+	bidder := auction.BidderID(job.SubAccount)
+	// Proportional to remaining bid budgets.
+	remaining := make(map[string]bank.Amount, len(job.Hosts))
+	var total bank.Amount
+	for _, h := range job.Hosts {
+		host, err := a.cfg.Cluster.Host(h)
+		if err != nil {
+			continue
+		}
+		r, err := host.Market.Remaining(bidder)
+		if err != nil {
+			continue
+		}
+		remaining[h] = r
+		total += r
+	}
+	if total == 0 {
+		// All bids exhausted: split evenly.
+		per := amount / bank.Amount(len(job.Hosts))
+		for _, h := range job.Hosts {
+			if per > 0 {
+				_ = a.cfg.Cluster.Boost(h, bidder, per)
+			}
+		}
+		return nil
+	}
+	for h, r := range remaining {
+		share := bank.Amount(int64(float64(amount) * float64(r) / float64(total)))
+		if share > 0 {
+			if err := a.cfg.Cluster.Boost(h, bidder, share); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// hostIDs returns the hosts this agent schedules onto.
+func (a *Agent) hostIDs() []string {
+	if len(a.cfg.Hosts) > 0 {
+		return a.cfg.Hosts
+	}
+	return a.cfg.Cluster.HostIDs()
+}
+
+// HostIDs returns the (possibly partitioned) host set this agent uses.
+func (a *Agent) HostIDs() []string {
+	out := make([]string, len(a.hostIDs()))
+	copy(out, a.hostIDs())
+	return out
+}
+
+// MeanSpotPrice returns the average spot price over this agent's hosts —
+// the matchmaking signal a meta-scheduler uses to pick a replica.
+func (a *Agent) MeanSpotPrice() float64 {
+	ids := a.hostIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		h, err := a.cfg.Cluster.Host(id)
+		if err != nil {
+			continue
+		}
+		sum += h.Market.SpotPrice()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Cluster returns the grid cluster the agent schedules onto.
+func (a *Agent) Cluster() *grid.Cluster { return a.cfg.Cluster }
+
+// Engine returns the simulation engine (via the cluster).
+func (a *Agent) Engine() *sim.Engine { return a.cfg.Cluster.Engine() }
+
+// Job returns a submitted job by id.
+func (a *Agent) Job(id string) (*Job, error) {
+	j, ok := a.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs returns all jobs sorted by id.
+func (a *Agent) Jobs() []*Job {
+	out := make([]*Job, 0, len(a.jobs))
+	for _, j := range a.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -1,0 +1,275 @@
+// Package arc is the NorduGrid/ARC-analog meta-scheduler front end of the
+// reproduction (paper §3): it accepts xRSL job descriptions, decodes the
+// attached transfer token, models input/output staging, hands execution to
+// the Tycoon scheduling agent, and exposes the Grid-monitor view of the
+// virtualized cluster (where "the number of CPUs are the number of virtual
+// machines currently created").
+package arc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tycoongrid/internal/agent"
+	"tycoongrid/internal/token"
+	"tycoongrid/internal/workload"
+	"tycoongrid/internal/xrsl"
+)
+
+// State mirrors the ARC job states users see in the Grid monitor.
+type State string
+
+// ARC job states.
+const (
+	StateAccepted  State = "ACCEPTED"
+	StatePreparing State = "PREPARING" // stage-in
+	StateRunning   State = "INLRMS:R"
+	StateFinishing State = "FINISHING" // stage-out
+	StateFinished  State = "FINISHED"
+	StateFailed    State = "FAILED"
+	StateKilled    State = "KILLED"
+)
+
+// GridJob is one submission as seen by the meta-scheduler.
+type GridJob struct {
+	ID        string
+	Request   *xrsl.JobRequest
+	State     State
+	Error     string
+	Submitted time.Time
+	Started   time.Time // execution start (after stage-in)
+	Finished  time.Time
+	AgentJob  *agent.Job
+}
+
+// Config wires a Manager.
+type Config struct {
+	ClusterName string
+	Agent       *agent.Agent
+	// StageInTime and StageOutTime model data transfer per staged file.
+	StageInTime  time.Duration
+	StageOutTime time.Duration
+	// ChunkWork estimates per-sub-job CPU work (MHz-seconds) from a request
+	// when the submitter does not supply explicit sizes. The default models
+	// the paper's application: Count sub-jobs of CPUTime (or WallTime) each
+	// at the reference CPU speed.
+	ChunkWork func(*xrsl.JobRequest) []float64
+}
+
+// Manager is the ARC-analog job manager.
+type Manager struct {
+	cfg  Config
+	jobs map[string]*GridJob
+	seq  int
+}
+
+// Errors returned by the manager.
+var (
+	ErrUnknownJob = errors.New("arc: unknown job")
+	ErrNoToken    = errors.New("arc: job description carries no transfer token")
+)
+
+// New validates cfg and returns a Manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Agent == nil {
+		return nil, errors.New("arc: nil agent")
+	}
+	if cfg.ClusterName == "" {
+		cfg.ClusterName = "tycoon-grid"
+	}
+	if cfg.ChunkWork == nil {
+		cfg.ChunkWork = DefaultChunkWork
+	}
+	return &Manager{cfg: cfg, jobs: make(map[string]*GridJob)}, nil
+}
+
+// DefaultChunkWork models the paper's bag-of-tasks: Count sub-jobs, each
+// costing the request's CPUTime (falling back to half the walltime) on a
+// reference-speed CPU.
+func DefaultChunkWork(jr *xrsl.JobRequest) []float64 {
+	per := jr.CPUTime
+	if per <= 0 {
+		per = jr.WallTime / 2
+	}
+	out := make([]float64, jr.Count)
+	for i := range out {
+		out[i] = per.Seconds() * workload.ReferenceMHz
+	}
+	return out
+}
+
+// Submit accepts an xRSL description. chunkWork overrides the per-sub-job
+// CPU work estimate; pass nil to use the configured estimator. The job
+// passes PREPARING (stage-in) before execution and FINISHING (stage-out)
+// after; both are modeled as fixed per-file delays on the simulation clock.
+func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error) {
+	desc, err := xrsl.Parse(xrslText)
+	if err != nil {
+		return nil, err
+	}
+	jr, err := desc.ToJobRequest()
+	if err != nil {
+		return nil, err
+	}
+	if jr.TransferToken == "" {
+		return nil, ErrNoToken
+	}
+	tok, err := token.Decode(jr.TransferToken)
+	if err != nil {
+		return nil, fmt.Errorf("arc: bad transfer token: %w", err)
+	}
+	if chunkWork == nil {
+		chunkWork = m.cfg.ChunkWork(jr)
+	}
+
+	eng := m.cfg.Agent.Engine()
+	m.seq++
+	gj := &GridJob{
+		ID:        fmt.Sprintf("gsiftp://%s/jobs/%d", m.cfg.ClusterName, m.seq),
+		Request:   jr,
+		State:     StateAccepted,
+		Submitted: eng.Now(),
+	}
+	m.jobs[gj.ID] = gj
+
+	// Stage-in: one delay per input file, then hand off to the agent.
+	stageIn := time.Duration(len(jr.InputFiles)) * m.cfg.StageInTime
+	gj.State = StatePreparing
+	if _, err := eng.After(stageIn, func() {
+		if gj.State != StatePreparing {
+			return // killed (or otherwise terminal) during stage-in
+		}
+		aj, err := m.cfg.Agent.Submit(tok, jr, chunkWork)
+		if err != nil {
+			gj.State = StateFailed
+			gj.Error = err.Error()
+			gj.Finished = eng.Now()
+			return
+		}
+		gj.AgentJob = aj
+		gj.State = StateRunning
+		gj.Started = eng.Now()
+		aj.OnComplete = func(*agent.Job) {
+			gj.State = StateFinishing
+			stageOut := time.Duration(len(jr.OutputFiles)) * m.cfg.StageOutTime
+			if _, err := eng.After(stageOut, func() {
+				gj.State = StateFinished
+				gj.Finished = eng.Now()
+			}); err != nil {
+				gj.State = StateFinished
+				gj.Finished = eng.Now()
+			}
+		}
+	}); err != nil {
+		gj.State = StateFailed
+		gj.Error = err.Error()
+		return gj, err
+	}
+	return gj, nil
+}
+
+// Boost adds funding to a running job via a fresh transfer token.
+func (m *Manager) Boost(jobID string, encodedToken string) error {
+	gj, ok := m.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	if gj.AgentJob == nil {
+		return fmt.Errorf("arc: job %q not yet running", jobID)
+	}
+	tok, err := token.Decode(encodedToken)
+	if err != nil {
+		return fmt.Errorf("arc: bad boost token: %w", err)
+	}
+	return m.cfg.Agent.Boost(gj.AgentJob.ID, tok)
+}
+
+// Cancel kills a job (the ARC "arckill" operation). Unspent funds are
+// refunded; the job ends in the KILLED state.
+func (m *Manager) Cancel(jobID string) error {
+	gj, ok := m.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	switch gj.State {
+	case StateFinished, StateFailed, StateKilled:
+		return fmt.Errorf("arc: job %q already in terminal state %s", jobID, gj.State)
+	}
+	if gj.AgentJob != nil {
+		gj.AgentJob.OnComplete = nil // suppress the stage-out path
+		if err := m.cfg.Agent.Cancel(gj.AgentJob.ID); err != nil &&
+			!errors.Is(err, agent.ErrJobDone) {
+			return err
+		}
+	}
+	gj.State = StateKilled
+	gj.Finished = m.cfg.Agent.Engine().Now()
+	return nil
+}
+
+// Job returns a job by id.
+func (m *Manager) Job(id string) (*GridJob, error) {
+	gj, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return gj, nil
+}
+
+// Jobs returns all jobs sorted by id.
+func (m *Manager) Jobs() []*GridJob {
+	out := make([]*GridJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// MonitorSnapshot is the Grid-monitor view of the virtual cluster
+// (paper Figure 2).
+type MonitorSnapshot struct {
+	ClusterName   string
+	PhysicalNodes int
+	// VirtualCPUs is the number of VMs currently created — what the ARC
+	// monitor reports as the CPU count of the virtualized cluster.
+	VirtualCPUs int
+	// MaxVirtualCPUs is the cap (about 15x the physical nodes).
+	MaxVirtualCPUs int
+	RunningVMs     int
+	JobsRunning    int
+	JobsQueued     int
+	JobsFinished   int
+	JobsFailed     int
+}
+
+// Monitor summarizes the cluster and job states.
+func (m *Manager) Monitor() MonitorSnapshot {
+	snap := MonitorSnapshot{ClusterName: m.cfg.ClusterName}
+	cl := m.cfg.Agent.Cluster()
+	for _, id := range cl.HostIDs() {
+		h, err := cl.Host(id)
+		if err != nil {
+			continue
+		}
+		snap.PhysicalNodes++
+		snap.VirtualCPUs += h.VMs.Live()
+		snap.MaxVirtualCPUs += h.Spec.MaxVMs
+		snap.RunningVMs += h.VMs.Running()
+	}
+	for _, j := range m.jobs {
+		switch j.State {
+		case StateAccepted, StatePreparing:
+			snap.JobsQueued++
+		case StateRunning, StateFinishing:
+			snap.JobsRunning++
+		case StateFinished:
+			snap.JobsFinished++
+		case StateFailed, StateKilled:
+			snap.JobsFailed++
+		}
+	}
+	return snap
+}

@@ -1,0 +1,94 @@
+package arc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Meta is the paper's replicated-agent deployment (§3): several Managers,
+// each backed by an agent partitioned onto a different set of compute nodes,
+// with "the ARC meta-scheduler ... used to load balance and do job to
+// cluster matchmaking between the replicas". Matchmaking picks the replica
+// whose host partition currently has the lowest mean spot price — the
+// cheapest place to run.
+type Meta struct {
+	replicas []*Manager
+}
+
+// NewMeta builds a meta-scheduler over the given replicas.
+func NewMeta(replicas ...*Manager) (*Meta, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("arc: meta-scheduler needs at least one replica")
+	}
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("arc: replica %d is nil", i)
+		}
+	}
+	return &Meta{replicas: replicas}, nil
+}
+
+// Replicas returns the number of managed replicas.
+func (m *Meta) Replicas() int { return len(m.replicas) }
+
+// pick returns the replica with the cheapest partition right now.
+func (m *Meta) pick() *Manager {
+	best := m.replicas[0]
+	bestPrice := best.cfg.Agent.MeanSpotPrice()
+	for _, r := range m.replicas[1:] {
+		if p := r.cfg.Agent.MeanSpotPrice(); p < bestPrice {
+			best, bestPrice = r, p
+		}
+	}
+	return best
+}
+
+// Submit matchmakes the job to the cheapest replica.
+func (m *Meta) Submit(xrslText string, chunkWork []float64) (*GridJob, error) {
+	return m.pick().Submit(xrslText, chunkWork)
+}
+
+// Job looks a job up across all replicas.
+func (m *Meta) Job(id string) (*GridJob, error) {
+	for _, r := range m.replicas {
+		if gj, err := r.Job(id); err == nil {
+			return gj, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+}
+
+// Jobs returns every replica's jobs.
+func (m *Meta) Jobs() []*GridJob {
+	var out []*GridJob
+	for _, r := range m.replicas {
+		out = append(out, r.Jobs()...)
+	}
+	return out
+}
+
+// Boost routes a boost to whichever replica owns the job.
+func (m *Meta) Boost(jobID, encodedToken string) error {
+	for _, r := range m.replicas {
+		if _, err := r.Job(jobID); err == nil {
+			return r.Boost(jobID, encodedToken)
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+}
+
+// Monitor aggregates the replica snapshots. Per-host VM counts would double
+// count when replicas share physical hosts, so each replica contributes only
+// its own partition's job counters; the first replica supplies the cluster
+// topology.
+func (m *Meta) Monitor() MonitorSnapshot {
+	snap := m.replicas[0].Monitor()
+	for _, r := range m.replicas[1:] {
+		s := r.Monitor()
+		snap.JobsRunning += s.JobsRunning
+		snap.JobsQueued += s.JobsQueued
+		snap.JobsFinished += s.JobsFinished
+		snap.JobsFailed += s.JobsFailed
+	}
+	return snap
+}

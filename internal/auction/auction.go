@@ -1,0 +1,334 @@
+// Package auction implements Tycoon's per-host continuous market (paper
+// §2.2): a bid-based proportional-share auction that reallocates the host's
+// CPU every interval (10 seconds by default), charges bidders only for
+// resources actually used, and refunds outstanding balances.
+//
+// A bid is (budget, deadline): the budget is amortized over the time to the
+// deadline, giving a spend rate in credits/second. At each reallocation a
+// bidder's CPU share is its spend rate divided by the sum of all active spend
+// rates; the sum itself is the host's spot price. Adding funds ("boosting",
+// §3) raises the remaining budget and recomputes the rate over the remaining
+// time.
+//
+// The Market is a pure mechanism: it computes shares and charges but does not
+// itself touch a bank; the auctioneer layer applies the returned charges to
+// host accounts. Price statistics hooks feed the prediction stack of §4.
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/bank"
+)
+
+// DefaultInterval is the paper's reallocation period.
+const DefaultInterval = 10 * time.Second
+
+// BidderID identifies a market participant (typically a bank account id).
+type BidderID string
+
+// bidState is the market's record of one bidder.
+type bidState struct {
+	bidder    BidderID
+	remaining bank.Amount // unspent budget
+	deadline  time.Time
+	rate      float64 // credits/second, fixed until boost or re-bid
+	active    bool    // consuming CPU this interval (charged only if true)
+}
+
+// Share describes one bidder's allocation at the last reallocation.
+type Share struct {
+	Bidder    BidderID
+	Fraction  float64 // of the whole host's CPU, in [0, 1]
+	Rate      float64 // spend rate, credits/second
+	Remaining bank.Amount
+}
+
+// Charge is money owed by a bidder for the last interval.
+type Charge struct {
+	Bidder BidderID
+	Amount bank.Amount
+}
+
+// Market is one host's auction. Safe for concurrent use.
+type Market struct {
+	mu        sync.Mutex
+	hostID    string
+	capacity  float64 // MHz
+	reserve   float64 // reserve price, credits/second, floor for the spot price
+	bids      map[BidderID]*bidState
+	price     float64 // spot price at last reallocation, credits/second
+	now       time.Time
+	observers []func(price float64, at time.Time)
+}
+
+// Config configures a Market.
+type Config struct {
+	HostID      string
+	CapacityMHz float64
+	// ReservePrice is the minimum spot price (credits/second) reported even
+	// when the host is idle; it models the host's opportunity cost and keeps
+	// the Best Response optimizer's prices strictly positive.
+	ReservePrice float64
+	// Start is the market's initial clock reading.
+	Start time.Time
+}
+
+// Errors returned by Market operations.
+var (
+	ErrUnknownBidder = errors.New("auction: unknown bidder")
+	ErrBadBid        = errors.New("auction: invalid bid")
+)
+
+// NewMarket creates a market for one host.
+func NewMarket(cfg Config) (*Market, error) {
+	if cfg.HostID == "" || cfg.CapacityMHz <= 0 {
+		return nil, fmt.Errorf("%w: host %q capacity %v", ErrBadBid, cfg.HostID, cfg.CapacityMHz)
+	}
+	reserve := cfg.ReservePrice
+	if reserve <= 0 {
+		reserve = 1e-6 // one microcredit/second
+	}
+	return &Market{
+		hostID:   cfg.HostID,
+		capacity: cfg.CapacityMHz,
+		reserve:  reserve,
+		bids:     make(map[BidderID]*bidState),
+		price:    reserve,
+		now:      cfg.Start,
+	}, nil
+}
+
+// HostID returns the host this market allocates.
+func (m *Market) HostID() string { return m.hostID }
+
+// CapacityMHz returns the host's CPU capacity.
+func (m *Market) CapacityMHz() float64 { return m.capacity }
+
+// Observe registers a callback invoked with the spot price after every
+// reallocation; the prediction stack attaches its moving-window statistics
+// here.
+func (m *Market) Observe(fn func(price float64, at time.Time)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observers = append(m.observers, fn)
+}
+
+// PlaceBid enters or replaces a bid for bidder: budget amortized until
+// deadline. A replaced bid's unspent budget is returned as refund.
+func (m *Market) PlaceBid(bidder BidderID, budget bank.Amount, deadline time.Time) (refund bank.Amount, err error) {
+	if bidder == "" || budget <= 0 {
+		return 0, fmt.Errorf("%w: bidder %q budget %v", ErrBadBid, bidder, budget)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	horizon := deadline.Sub(m.now).Seconds()
+	if horizon <= 0 {
+		return 0, fmt.Errorf("%w: deadline not in the future", ErrBadBid)
+	}
+	if old, ok := m.bids[bidder]; ok {
+		refund = old.remaining
+	}
+	m.bids[bidder] = &bidState{
+		bidder:    bidder,
+		remaining: budget,
+		deadline:  deadline,
+		rate:      budget.Credits() / horizon,
+		active:    true,
+	}
+	return refund, nil
+}
+
+// Boost adds funds to an existing bid and recomputes the spend rate over the
+// remaining time to the deadline — the paper's mechanism for making a
+// submitted job complete sooner.
+func (m *Market) Boost(bidder BidderID, extra bank.Amount) error {
+	if extra <= 0 {
+		return fmt.Errorf("%w: non-positive boost", ErrBadBid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.bids[bidder]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownBidder, bidder)
+	}
+	b.remaining += extra
+	horizon := b.deadline.Sub(m.now).Seconds()
+	if horizon <= 0 {
+		horizon = DefaultInterval.Seconds()
+	}
+	b.rate = b.remaining.Credits() / horizon
+	return nil
+}
+
+// SetActive marks whether bidder is consuming CPU. Inactive bidders keep
+// their share reserved at zero cost — "Tycoon only charges for resources
+// actually used".
+func (m *Market) SetActive(bidder BidderID, active bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.bids[bidder]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownBidder, bidder)
+	}
+	b.active = active
+	return nil
+}
+
+// CancelBid withdraws a bid, returning the unspent budget for refund.
+func (m *Market) CancelBid(bidder BidderID) (bank.Amount, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.bids[bidder]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownBidder, bidder)
+	}
+	delete(m.bids, bidder)
+	return b.remaining, nil
+}
+
+// Remaining returns the bidder's unspent budget.
+func (m *Market) Remaining(bidder BidderID) (bank.Amount, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.bids[bidder]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownBidder, bidder)
+	}
+	return b.remaining, nil
+}
+
+// SpotPrice returns the host's current spot price in credits/second: the sum
+// of live spend rates, floored at the reserve price.
+func (m *Market) SpotPrice() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.price
+}
+
+// PricePerMHz returns the spot price normalized by host capacity — the
+// paper's "$/s per CPU cycles/s" unit used in the prediction figures.
+func (m *Market) PricePerMHz() float64 {
+	return m.SpotPrice() / m.capacity
+}
+
+// PriceExcluding returns the sum of live spend rates excluding one bidder:
+// the y_j the Best Response optimizer needs (total of *other* bids), floored
+// at the reserve price.
+func (m *Market) PriceExcluding(bidder BidderID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	for id, b := range m.bids {
+		if id == bidder {
+			continue
+		}
+		if b.remaining > 0 {
+			sum += b.rate
+		}
+	}
+	if sum < m.reserve {
+		sum = m.reserve
+	}
+	return sum
+}
+
+// Shares returns the allocation as of the last reallocation, sorted by
+// bidder for determinism.
+func (m *Market) Shares() []Share {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := m.totalRateLocked()
+	out := make([]Share, 0, len(m.bids))
+	for _, b := range m.bids {
+		frac := 0.0
+		if total > 0 && b.remaining > 0 {
+			frac = b.rate / total
+		}
+		out = append(out, Share{Bidder: b.bidder, Fraction: frac, Rate: b.rate, Remaining: b.remaining})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bidder < out[j].Bidder })
+	return out
+}
+
+// Bidders returns the number of live bids.
+func (m *Market) Bidders() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.bids)
+}
+
+func (m *Market) totalRateLocked() float64 {
+	var sum float64
+	for _, b := range m.bids {
+		if b.remaining > 0 {
+			sum += b.rate
+		}
+	}
+	return sum
+}
+
+// Tick advances the market clock to now, charging each active bidder
+// rate * dt (capped at its remaining budget) and expiring exhausted bids.
+// It returns the charges and the refunds of bids that expired past their
+// deadline with money left (deadline reached: leftover goes back).
+func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
+	m.mu.Lock()
+	dt := now.Sub(m.now).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	m.now = now
+
+	for id, b := range m.bids {
+		if b.active && b.remaining > 0 && dt > 0 {
+			owe, err := bank.FromCredits(b.rate * dt)
+			if err != nil || owe < 0 {
+				owe = b.remaining
+			}
+			if owe > b.remaining {
+				owe = b.remaining
+			}
+			if owe > 0 {
+				b.remaining -= owe
+				charges = append(charges, Charge{Bidder: id, Amount: owe})
+			}
+		}
+		expired := !now.Before(b.deadline)
+		if b.remaining <= 0 || expired {
+			if b.remaining > 0 {
+				refunds = append(refunds, Charge{Bidder: id, Amount: b.remaining})
+			}
+			delete(m.bids, id)
+		}
+	}
+
+	price := m.totalRateLocked()
+	if price < m.reserve {
+		price = m.reserve
+	}
+	m.price = price
+	obs := make([]func(float64, time.Time), len(m.observers))
+	copy(obs, m.observers)
+	m.mu.Unlock()
+
+	// Observers run outside the lock so they may call back into the market.
+	for _, fn := range obs {
+		fn(price, now)
+	}
+
+	sort.Slice(charges, func(i, j int) bool { return charges[i].Bidder < charges[j].Bidder })
+	sort.Slice(refunds, func(i, j int) bool { return refunds[i].Bidder < refunds[j].Bidder })
+	return charges, refunds
+}
+
+// DeliveredMHz returns the CPU capacity a bidder with the given share
+// fraction receives, the quantity the paper's Figure 3 plots against budget.
+func (m *Market) DeliveredMHz(fraction float64) float64 {
+	return m.capacity * math.Max(0, math.Min(1, fraction))
+}

@@ -1,0 +1,381 @@
+package bank
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+)
+
+// Errors returned by Bank operations.
+var (
+	ErrNoAccount         = errors.New("bank: no such account")
+	ErrDuplicateAccount  = errors.New("bank: account already exists")
+	ErrInsufficientFunds = errors.New("bank: insufficient funds")
+	ErrNonPositive       = errors.New("bank: amount must be positive")
+	ErrBadAuthorization  = errors.New("bank: bad transfer authorization")
+	ErrNonceReused       = errors.New("bank: transfer nonce already used")
+	ErrNotSubAccount     = errors.New("bank: not a sub-account of the claimed parent")
+)
+
+// AccountID names an account. Sub-accounts use "parent/child" ids.
+type AccountID string
+
+// Account is the bank's view of one account.
+type Account struct {
+	ID      AccountID
+	Owner   ed25519.PublicKey // key authorized to move funds out
+	Parent  AccountID         // "" for top-level accounts
+	Balance Amount
+	Created time.Time
+}
+
+// EntryKind classifies ledger entries.
+type EntryKind string
+
+// Ledger entry kinds.
+const (
+	EntryDeposit  EntryKind = "deposit"
+	EntryTransfer EntryKind = "transfer"
+	EntryRefund   EntryKind = "refund"
+	EntryCharge   EntryKind = "charge"
+)
+
+// Entry is one immutable ledger record.
+type Entry struct {
+	Seq    uint64
+	Kind   EntryKind
+	From   AccountID // "" for deposits
+	To     AccountID
+	Amount Amount
+	Memo   string
+	At     time.Time
+}
+
+// TransferRequest is the owner-signed authorization to move funds.
+// The Nonce makes each authorization single-use.
+type TransferRequest struct {
+	From   AccountID
+	To     AccountID
+	Amount Amount
+	Nonce  string
+	Sig    []byte // owner signature over SigningBytes
+}
+
+// SigningBytes returns the canonical bytes the owner signs.
+func (r *TransferRequest) SigningBytes() []byte {
+	return canonical("tycoongrid-transfer-v1",
+		string(r.From), string(r.To), amountBytes(r.Amount), r.Nonce)
+}
+
+// Receipt is the bank-signed proof that a transfer happened. It is the raw
+// material of the paper's transfer tokens: the broker verifies the bank
+// signature instead of querying the bank online.
+type Receipt struct {
+	TransferID string // equal to the request nonce
+	From       AccountID
+	To         AccountID
+	Amount     Amount
+	At         time.Time
+	BankSig    []byte
+}
+
+// SigningBytes returns the canonical bytes the bank signs.
+func (r *Receipt) SigningBytes() []byte {
+	return canonical("tycoongrid-receipt-v1",
+		r.TransferID, string(r.From), string(r.To),
+		amountBytes(r.Amount), r.At.UTC().Format(time.RFC3339Nano))
+}
+
+// canonical builds a length-prefixed deterministic encoding of fields.
+func canonical(fields ...any) []byte {
+	var b bytes.Buffer
+	for _, f := range fields {
+		var p []byte
+		switch v := f.(type) {
+		case string:
+			p = []byte(v)
+		case []byte:
+			p = v
+		default:
+			panic("bank: unsupported canonical field type")
+		}
+		var l [8]byte
+		binary.BigEndian.PutUint64(l[:], uint64(len(p)))
+		b.Write(l[:])
+		b.Write(p)
+	}
+	return b.Bytes()
+}
+
+func amountBytes(a Amount) []byte {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], uint64(a))
+	return p[:]
+}
+
+// Bank is a thread-safe in-memory ledger with signed receipts.
+type Bank struct {
+	mu        sync.Mutex
+	id        *pki.Identity
+	clock     sim.Clock
+	accounts  map[AccountID]*Account
+	nonces    map[string]bool
+	ledger    []Entry
+	seq       uint64
+	ledgerCap int // 0 = unbounded
+}
+
+// Option customizes a Bank.
+type Option func(*Bank)
+
+// WithLedgerRetention caps the in-memory ledger at n entries; the oldest
+// entries are dropped first. Balances are unaffected — only History is
+// truncated. Long simulations produce millions of 10-second CPU
+// micro-charges, so the experiment harnesses bound retention.
+func WithLedgerRetention(n int) Option {
+	return func(b *Bank) { b.ledgerCap = n }
+}
+
+// New creates a bank whose receipts are signed by identity id.
+func New(id *pki.Identity, clock sim.Clock, opts ...Option) *Bank {
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	b := &Bank{
+		id:       id,
+		clock:    clock,
+		accounts: make(map[AccountID]*Account),
+		nonces:   make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// PublicKey returns the key receipts are verified against.
+func (b *Bank) PublicKey() ed25519.PublicKey { return b.id.Public() }
+
+// CreateAccount registers a new top-level account owned by owner.
+func (b *Bank) CreateAccount(id AccountID, owner ed25519.PublicKey) (*Account, error) {
+	return b.createAccount(id, owner, "")
+}
+
+// CreateSubAccount registers child under parent, owned by owner (typically
+// the broker's key). The paper's broker creates one sub-account per verified
+// transfer token and funds host accounts from it.
+func (b *Bank) CreateSubAccount(parent AccountID, child string, owner ed25519.PublicKey) (*Account, error) {
+	b.mu.Lock()
+	_, ok := b.accounts[parent]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: parent %q", ErrNoAccount, parent)
+	}
+	return b.createAccount(AccountID(string(parent)+"/"+child), owner, parent)
+}
+
+func (b *Bank) createAccount(id AccountID, owner ed25519.PublicKey, parent AccountID) (*Account, error) {
+	if id == "" {
+		return nil, errors.New("bank: empty account id")
+	}
+	if len(owner) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("bank: account %q: owner key has %d bytes, want %d",
+			id, len(owner), ed25519.PublicKeySize)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.accounts[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateAccount, id)
+	}
+	a := &Account{ID: id, Owner: owner, Parent: parent, Created: b.clock.Now()}
+	b.accounts[id] = a
+	cp := *a
+	return &cp, nil
+}
+
+// Lookup returns a copy of the account record.
+func (b *Bank) Lookup(id AccountID) (Account, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.accounts[id]
+	if !ok {
+		return Account{}, fmt.Errorf("%w: %q", ErrNoAccount, id)
+	}
+	return *a, nil
+}
+
+// Balance returns the current balance of id.
+func (b *Bank) Balance(id AccountID) (Amount, error) {
+	a, err := b.Lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	return a.Balance, nil
+}
+
+// Deposit credits amount to id out of thin air — the funding operation a
+// grid operator uses to grant users periodic allocations.
+func (b *Bank) Deposit(id AccountID, amount Amount, memo string) error {
+	if amount <= 0 {
+		return ErrNonPositive
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoAccount, id)
+	}
+	nb, err := addChecked(a.Balance, amount)
+	if err != nil {
+		return err
+	}
+	a.Balance = nb
+	b.appendEntry(EntryDeposit, "", id, amount, memo)
+	return nil
+}
+
+// Transfer executes an owner-signed transfer request and returns a
+// bank-signed receipt. The request nonce is consumed; replays fail with
+// ErrNonceReused.
+func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
+	if req.Amount <= 0 {
+		return Receipt{}, ErrNonPositive
+	}
+	if req.Nonce == "" {
+		return Receipt{}, errors.New("bank: empty transfer nonce")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from, ok := b.accounts[req.From]
+	if !ok {
+		return Receipt{}, fmt.Errorf("%w: %q", ErrNoAccount, req.From)
+	}
+	to, ok := b.accounts[req.To]
+	if !ok {
+		return Receipt{}, fmt.Errorf("%w: %q", ErrNoAccount, req.To)
+	}
+	if !pki.Verify(from.Owner, req.SigningBytes(), req.Sig) {
+		return Receipt{}, ErrBadAuthorization
+	}
+	if b.nonces[req.Nonce] {
+		return Receipt{}, ErrNonceReused
+	}
+	if from.Balance < req.Amount {
+		return Receipt{}, fmt.Errorf("%w: %q has %v, needs %v",
+			ErrInsufficientFunds, req.From, from.Balance, req.Amount)
+	}
+	nb, err := addChecked(to.Balance, req.Amount)
+	if err != nil {
+		return Receipt{}, err
+	}
+	from.Balance -= req.Amount
+	to.Balance = nb
+	b.nonces[req.Nonce] = true
+	b.appendEntry(EntryTransfer, req.From, req.To, req.Amount, "")
+
+	r := Receipt{
+		TransferID: req.Nonce,
+		From:       req.From,
+		To:         req.To,
+		Amount:     req.Amount,
+		At:         b.clock.Now(),
+	}
+	r.BankSig = b.id.Sign(r.SigningBytes())
+	return r, nil
+}
+
+// MoveInternal transfers between two accounts that share an owner key, on
+// the owner's behalf, without a signed request. It is used by services that
+// already hold the owner identity (the broker funding host accounts from a
+// sub-account, or an auctioneer charging a host account).
+func (b *Bank) MoveInternal(owner *pki.Identity, from, to AccountID, amount Amount, kind EntryKind, memo string) error {
+	if amount <= 0 {
+		return ErrNonPositive
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.accounts[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoAccount, from)
+	}
+	t, ok := b.accounts[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoAccount, to)
+	}
+	if !f.Owner.Equal(owner.Public()) {
+		return ErrBadAuthorization
+	}
+	if f.Balance < amount {
+		return fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
+	}
+	nb, err := addChecked(t.Balance, amount)
+	if err != nil {
+		return err
+	}
+	f.Balance -= amount
+	t.Balance = nb
+	b.appendEntry(kind, from, to, amount, memo)
+	return nil
+}
+
+// VerifyReceipt checks a receipt's bank signature against bankKey.
+func VerifyReceipt(bankKey ed25519.PublicKey, r Receipt) bool {
+	return pki.Verify(bankKey, r.SigningBytes(), r.BankSig)
+}
+
+// appendEntry records a ledger entry; callers hold b.mu.
+func (b *Bank) appendEntry(kind EntryKind, from, to AccountID, amount Amount, memo string) {
+	b.seq++
+	b.ledger = append(b.ledger, Entry{
+		Seq: b.seq, Kind: kind, From: from, To: to,
+		Amount: amount, Memo: memo, At: b.clock.Now(),
+	})
+	// Trim lazily at 2x the cap so the copy cost amortizes to O(1).
+	if b.ledgerCap > 0 && len(b.ledger) > 2*b.ledgerCap {
+		drop := len(b.ledger) - b.ledgerCap
+		b.ledger = append(b.ledger[:0], b.ledger[drop:]...)
+	}
+}
+
+// History returns the ledger entries that touch id, oldest first.
+func (b *Bank) History(id AccountID) []Entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Entry
+	for _, e := range b.ledger {
+		if e.From == id || e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalMoney returns the sum of all balances — conserved by every operation
+// except Deposit; the invariant the property tests verify.
+func (b *Bank) TotalMoney() Amount {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total Amount
+	for _, a := range b.accounts {
+		total += a.Balance
+	}
+	return total
+}
+
+// Accounts returns the ids of all accounts, in no particular order.
+func (b *Bank) Accounts() []AccountID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]AccountID, 0, len(b.accounts))
+	for id := range b.accounts {
+		out = append(out, id)
+	}
+	return out
+}

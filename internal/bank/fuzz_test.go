@@ -1,0 +1,34 @@
+package bank
+
+import (
+	"testing"
+)
+
+// FuzzParseAmount checks the money parser never panics, and that accepted
+// values round-trip exactly through String — the property that makes the
+// wire encoding safe for ledgers.
+func FuzzParseAmount(f *testing.F) {
+	for _, s := range []string{
+		"0", "1", "-1", "12.5", ".25", "+3", "0.000001", "-0.5",
+		"9999999999", "1.2.3", "1e5", "", ".", "-", "0.0000001",
+		"92233720368547758.07",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := ParseAmount(in)
+		if err != nil {
+			return
+		}
+		back, err := ParseAmount(a.String())
+		if err != nil {
+			t.Fatalf("String() form rejected: %q -> %q: %v", in, a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round trip changed value: %q -> %v -> %v", in, a, back)
+		}
+	})
+}
+
+// FuzzTokenDecode lives here logically with the codecs; see
+// internal/token/fuzz_test.go for the transfer-token decoder fuzz.

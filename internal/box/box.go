@@ -1,0 +1,222 @@
+// Package box assembles the complete grid market — PKI, bank, cluster,
+// best-response agent, ARC job manager — into one self-contained instance
+// ("grid market in a box"). cmd/gridmarketd serves it over HTTP with the
+// simulation engine driven along the wall clock; integration tests drive the
+// engine directly.
+//
+// For demonstration purposes the box can also act as an identity/escrow
+// provider: CreateUser mints a funded bank account plus a Grid certificate
+// and keeps the keys server-side, and MintToken produces an encoded transfer
+// token on the user's behalf. Production deployments keep both keys on the
+// user's machine (see examples/quickstart for the local-key flow); the demo
+// path exists so `curl` alone can exercise the full market.
+package box
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tycoongrid/internal/agent"
+	"tycoongrid/internal/arc"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/grid"
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/token"
+)
+
+// Config shapes the box.
+type Config struct {
+	Hosts        int
+	CPUsPerHost  int
+	CPUMHz       float64
+	ReservePrice float64
+	Interval     time.Duration
+	Start        time.Time // engine start; zero = sim.Epoch
+	StageInTime  time.Duration
+	StageOutTime time.Duration
+	ClusterName  string
+}
+
+// DefaultConfig returns a small but real market.
+func DefaultConfig() Config {
+	return Config{
+		Hosts:        8,
+		CPUsPerHost:  2,
+		CPUMHz:       2800,
+		ReservePrice: 1.0 / 3600,
+		ClusterName:  "tycoon-box",
+	}
+}
+
+// User is a demo user whose keys live inside the box.
+type User struct {
+	Name     string
+	Account  bank.AccountID
+	grid     *pki.Identity
+	bankKey  *pki.Identity
+	transfer int
+}
+
+// Box is the assembled market.
+type Box struct {
+	Engine  *sim.Engine
+	CA      *pki.CA
+	Bank    *bank.Bank
+	Cluster *grid.Cluster
+	Agent   *agent.Agent
+	Manager *arc.Manager
+
+	broker *pki.Identity
+	users  map[string]*User
+}
+
+// New assembles a box.
+func New(cfg Config) (*Box, error) {
+	if cfg.Hosts < 1 || cfg.CPUsPerHost < 1 || cfg.CPUMHz <= 0 {
+		return nil, fmt.Errorf("box: bad cluster shape %d x %d x %v", cfg.Hosts, cfg.CPUsPerHost, cfg.CPUMHz)
+	}
+	start := cfg.Start
+	var eng *sim.Engine
+	if start.IsZero() {
+		eng = sim.NewEngine()
+	} else {
+		eng = sim.NewEngineAt(start)
+	}
+	ca, err := pki.NewCA("/O=Grid/CN=BoxCA", pki.WithTimeSource(eng.Now))
+	if err != nil {
+		return nil, err
+	}
+	bankID, err := ca.Issue("/CN=Bank")
+	if err != nil {
+		return nil, err
+	}
+	brokerID, err := ca.Issue("/CN=Broker")
+	if err != nil {
+		return nil, err
+	}
+	ledger := bank.New(bankID, eng, bank.WithLedgerRetention(100_000))
+	if _, err := ledger.CreateAccount("broker", brokerID.Public()); err != nil {
+		return nil, err
+	}
+
+	specs := make([]grid.HostSpec, cfg.Hosts)
+	for i := range specs {
+		specs[i] = grid.HostSpec{
+			ID:     fmt.Sprintf("h%02d", i),
+			CPUs:   cfg.CPUsPerHost,
+			CPUMHz: cfg.CPUMHz,
+			MaxVMs: 15 * cfg.CPUsPerHost,
+		}
+	}
+	cluster, err := grid.New(eng, grid.Config{
+		Hosts:        specs,
+		ReservePrice: cfg.ReservePrice,
+		Interval:     cfg.Interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.Start(); err != nil {
+		return nil, err
+	}
+
+	verifier, err := token.NewVerifier(ledger.PublicKey(), ca.Certificate(), "broker", nil)
+	if err != nil {
+		return nil, err
+	}
+	ag, err := agent.New(agent.Config{
+		Cluster: cluster, Bank: ledger, Identity: brokerID,
+		Account: "broker", Verifier: verifier,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := arc.New(arc.Config{
+		ClusterName:  cfg.ClusterName,
+		Agent:        ag,
+		StageInTime:  cfg.StageInTime,
+		StageOutTime: cfg.StageOutTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Box{
+		Engine:  eng,
+		CA:      ca,
+		Bank:    ledger,
+		Cluster: cluster,
+		Agent:   ag,
+		Manager: mgr,
+		broker:  brokerID,
+		users:   make(map[string]*User),
+	}, nil
+}
+
+// Errors returned by the demo-identity API.
+var (
+	ErrUserExists  = errors.New("box: user already exists")
+	ErrUnknownUser = errors.New("box: unknown user")
+)
+
+// CreateUser mints a funded demo user.
+func (b *Box) CreateUser(name string, grant bank.Amount) (*User, error) {
+	if name == "" {
+		return nil, errors.New("box: empty user name")
+	}
+	if _, ok := b.users[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrUserExists, name)
+	}
+	gridID, err := b.CA.Issue(pki.DN("/O=Grid/OU=Box/CN=" + name))
+	if err != nil {
+		return nil, err
+	}
+	bankKey, err := b.CA.Issue(pki.DN("/CN=" + name + "-bank-key"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.Bank.CreateAccount(bank.AccountID(name), bankKey.Public()); err != nil {
+		return nil, err
+	}
+	if grant > 0 {
+		if err := b.Bank.Deposit(bank.AccountID(name), grant, "demo grant"); err != nil {
+			return nil, err
+		}
+	}
+	u := &User{Name: name, Account: bank.AccountID(name), grid: gridID, bankKey: bankKey}
+	b.users[name] = u
+	return u, nil
+}
+
+// MintToken transfers amount from the named demo user to the broker and
+// returns the encoded transfer token ready for an xRSL transfertoken
+// attribute.
+func (b *Box) MintToken(name string, amount bank.Amount) (string, error) {
+	u, ok := b.users[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	u.transfer++
+	req := bank.TransferRequest{
+		From:   u.Account,
+		To:     "broker",
+		Amount: amount,
+		Nonce:  fmt.Sprintf("%s-box-%06d", name, u.transfer),
+	}
+	req.Sig = u.bankKey.Sign(req.SigningBytes())
+	receipt, err := b.Bank.Transfer(req)
+	if err != nil {
+		return "", err
+	}
+	return token.Encode(token.Attach(receipt, u.grid))
+}
+
+// Balance returns a demo user's balance.
+func (b *Box) Balance(name string) (bank.Amount, error) {
+	u, ok := b.users[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return b.Bank.Balance(u.Account)
+}

@@ -1,0 +1,145 @@
+package box
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/arc"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/sim"
+)
+
+func newBox(t *testing.T) *Box {
+	t.Helper()
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero hosts accepted")
+	}
+}
+
+func TestStartTimes(t *testing.T) {
+	b := newBox(t)
+	if !b.Engine.Now().Equal(sim.Epoch) {
+		t.Errorf("default start = %v", b.Engine.Now())
+	}
+	cfg := DefaultConfig()
+	start := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	cfg.Start = start
+	b2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.Engine.Now().Equal(start) {
+		t.Errorf("custom start = %v", b2.Engine.Now())
+	}
+}
+
+func TestUserLifecycle(t *testing.T) {
+	b := newBox(t)
+	u, err := b.CreateUser("alice", 100*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Account != "alice" {
+		t.Errorf("account = %v", u.Account)
+	}
+	if bal, err := b.Balance("alice"); err != nil || bal != 100*bank.Credit {
+		t.Errorf("balance = %v, %v", bal, err)
+	}
+	if _, err := b.CreateUser("alice", 0); !errors.Is(err, ErrUserExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := b.CreateUser("", 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := b.Balance("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("ghost balance: %v", err)
+	}
+	if _, err := b.MintToken("ghost", bank.Credit); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("ghost token: %v", err)
+	}
+}
+
+func TestEndToEndJobThroughBox(t *testing.T) {
+	b := newBox(t)
+	if _, err := b.CreateUser("alice", 500*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 50*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xrsl := fmt.Sprintf(
+		"&(executable=scan.sh)(jobname=box-test)(count=4)(cputime=10)(walltime=120)(transfertoken=%s)", tok)
+	gj, err := b.Manager.Submit(xrsl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.RunFor(2 * time.Hour)
+	if gj.State != arc.StateFinished {
+		t.Fatalf("job state = %v (%s)", gj.State, gj.Error)
+	}
+	if gj.AgentJob.Completed() != 4 {
+		t.Errorf("completed = %d", gj.AgentJob.Completed())
+	}
+	// Money moved: alice paid 50, some flowed to earnings, rest to broker.
+	bal, _ := b.Balance("alice")
+	if bal != 450*bank.Credit {
+		t.Errorf("alice balance = %v", bal)
+	}
+	earn, _ := b.Bank.Balance("grid-earnings")
+	brok, _ := b.Bank.Balance("broker")
+	if earn <= 0 {
+		t.Error("no host earnings")
+	}
+	if earn+brok != 50*bank.Credit {
+		t.Errorf("money leaked: earnings %v + broker %v != 50", earn, brok)
+	}
+}
+
+func TestTokensAreSingleUse(t *testing.T) {
+	b := newBox(t)
+	if _, err := b.CreateUser("alice", 100*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 10*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() string {
+		return fmt.Sprintf("&(executable=x)(cputime=1)(walltime=30)(transfertoken=%s)", tok)
+	}
+	g1, err := b.Manager.Submit(mk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Manager.Submit(mk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.RunFor(time.Hour)
+	finished := 0
+	for _, g := range []*arc.GridJob{g1, g2} {
+		if g.State == arc.StateFinished {
+			finished++
+		}
+	}
+	if finished != 1 {
+		t.Errorf("token used by %d jobs, want exactly 1", finished)
+	}
+	// Only 10 credits left the account regardless.
+	if bal, _ := b.Balance("alice"); bal != 90*bank.Credit {
+		t.Errorf("alice balance = %v", bal)
+	}
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: exposing
+// Tycoon's Best Response bid optimizer to Grid HPC users. Given a total
+// budget X and, for each candidate host j, a preference weight w_j (e.g. the
+// host's CPU capacity) and the current price y_j (the sum of other users'
+// bids), the optimizer solves
+//
+//	maximize   U = sum_j w_j * x_j / (x_j + y_j)
+//	subject to sum_j x_j = X,  x_j >= 0                     (eq. 1-2)
+//
+// Feldman, Lai & Zhang show that when all users bid this way the market
+// reaches an equilibrium that is both fair and economically efficient; the
+// closed-form KKT solution on the optimal support set S is
+//
+//	x_j = sqrt(w_j*y_j/lambda) - y_j,
+//	sqrt(1/lambda) = (X + sum_S y_j) / sum_S sqrt(w_j*y_j),
+//
+// and the support is found by water-filling: hosts are admitted in order of
+// decreasing marginal utility at zero (w_j/y_j) while every admitted host's
+// bid stays positive.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Host is one candidate resource for the optimizer.
+type Host struct {
+	ID         string
+	Preference float64 // w_j > 0, e.g. CPU capacity in MHz
+	Price      float64 // y_j > 0, sum of other users' spend rates
+}
+
+// Allocation is the optimizer's bid for one host.
+type Allocation struct {
+	Host Host
+	Bid  float64 // x_j >= 0, same money units as the budget
+}
+
+// Errors returned by BestResponse.
+var (
+	ErrNoHosts   = errors.New("core: no candidate hosts")
+	ErrBadBudget = errors.New("core: budget must be positive")
+	ErrBadHost   = errors.New("core: host preference and price must be positive")
+)
+
+// BestResponse computes the optimal bid distribution of budget X across
+// hosts. Hosts that receive a zero bid are omitted from the result. The
+// returned allocations are sorted by descending bid, then host ID.
+func BestResponse(budget float64, hosts []Host) ([]Allocation, error) {
+	if budget <= 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	if len(hosts) == 0 {
+		return nil, ErrNoHosts
+	}
+	for _, h := range hosts {
+		if h.Preference <= 0 || h.Price <= 0 ||
+			math.IsNaN(h.Preference) || math.IsNaN(h.Price) ||
+			math.IsInf(h.Preference, 0) || math.IsInf(h.Price, 0) {
+			return nil, fmt.Errorf("%w: host %q w=%v y=%v", ErrBadHost, h.ID, h.Preference, h.Price)
+		}
+	}
+
+	// Admit hosts in order of decreasing marginal utility at x=0, which is
+	// w_j/y_j; ties broken by ID for determinism.
+	order := make([]Host, len(hosts))
+	copy(order, hosts)
+	sort.Slice(order, func(i, j int) bool {
+		ri := order[i].Preference / order[i].Price
+		rj := order[j].Preference / order[j].Price
+		if ri != rj {
+			return ri > rj
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	// Water-filling: find the largest prefix S of the ordering such that the
+	// marginal host's bid stays positive. sumY and sumSqrt accumulate
+	// sum_S y_j and sum_S sqrt(w_j*y_j). The bid of the *least* attractive
+	// admitted host turns negative first, so the prefix test is on the last
+	// admitted host.
+	var sumY, sumSqrt float64
+	support := 0
+	for k := 0; k < len(order); k++ {
+		h := order[k]
+		sY := sumY + h.Price
+		sS := sumSqrt + math.Sqrt(h.Preference*h.Price)
+		c := (budget + sY) / sS
+		// Bid of host k under prefix k+1.
+		if math.Sqrt(h.Preference*h.Price)*c-h.Price <= 0 {
+			break
+		}
+		sumY, sumSqrt = sY, sS
+		support = k + 1
+	}
+	if support == 0 {
+		// Even the single most attractive host would get a non-positive bid,
+		// which cannot happen with positive budget: for S={j},
+		// x_j = sqrt(w y)*(X+y)/sqrt(w y) - y = X > 0. Guard anyway.
+		support = 1
+		sumY = order[0].Price
+		sumSqrt = math.Sqrt(order[0].Preference * order[0].Price)
+	}
+
+	c := (budget + sumY) / sumSqrt
+	allocs := make([]Allocation, 0, support)
+	var total float64
+	for k := 0; k < support; k++ {
+		h := order[k]
+		x := math.Sqrt(h.Preference*h.Price)*c - h.Price
+		if x <= 0 {
+			continue
+		}
+		allocs = append(allocs, Allocation{Host: h, Bid: x})
+		total += x
+	}
+	// Normalize rounding drift so bids sum exactly to the budget.
+	if total > 0 && total != budget {
+		scale := budget / total
+		for i := range allocs {
+			allocs[i].Bid *= scale
+		}
+	}
+	sort.Slice(allocs, func(i, j int) bool {
+		if allocs[i].Bid != allocs[j].Bid {
+			return allocs[i].Bid > allocs[j].Bid
+		}
+		return allocs[i].Host.ID < allocs[j].Host.ID
+	})
+	return allocs, nil
+}
+
+// Utility evaluates eq. (1) for a set of allocations: the total utility the
+// bidder obtains given that each host's final price is y_j + x_j.
+func Utility(allocs []Allocation) float64 {
+	var u float64
+	for _, a := range allocs {
+		if a.Bid <= 0 {
+			continue
+		}
+		u += a.Host.Preference * a.Bid / (a.Bid + a.Host.Price)
+	}
+	return u
+}
+
+// UtilityAt evaluates the utility of bidding x on a single host.
+func UtilityAt(h Host, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return h.Preference * x / (x + h.Price)
+}
+
+// TopN returns the n largest allocations (already the ordering of
+// BestResponse output); it is a convenience for job managers that can use at
+// most n concurrent virtual machines (the XRSL count attribute).
+func TopN(allocs []Allocation, n int) []Allocation {
+	if n <= 0 || n >= len(allocs) {
+		return allocs
+	}
+	return allocs[:n]
+}
+
+// TopNByUtility returns the n allocations with the largest utility
+// contribution w_j*x_j/(x_j+y_j). This is the right cap for the XRSL count
+// attribute: a tiny bid on an idle host buys nearly the whole host, so
+// ranking by bid size would discard exactly the best deals.
+func TopNByUtility(allocs []Allocation, n int) []Allocation {
+	if n <= 0 || n >= len(allocs) {
+		return allocs
+	}
+	ranked := make([]Allocation, len(allocs))
+	copy(ranked, allocs)
+	sort.Slice(ranked, func(i, j int) bool {
+		ui := UtilityAt(ranked[i].Host, ranked[i].Bid)
+		uj := UtilityAt(ranked[j].Host, ranked[j].Bid)
+		if ui != uj {
+			return ui > uj
+		}
+		return ranked[i].Host.ID < ranked[j].Host.ID
+	})
+	return ranked[:n]
+}
+
+// Rebalance redistributes the budget over only the hosts in keep (a subset
+// of prior allocations), re-running BestResponse with fresh prices. Job
+// managers use it after capping the host count with TopN.
+func Rebalance(budget float64, keep []Allocation) ([]Allocation, error) {
+	hosts := make([]Host, len(keep))
+	for i, a := range keep {
+		hosts[i] = a.Host
+	}
+	return BestResponse(budget, hosts)
+}

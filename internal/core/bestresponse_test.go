@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tycoongrid/internal/mathx"
+	"tycoongrid/internal/rng"
+)
+
+func TestValidation(t *testing.T) {
+	good := []Host{{ID: "a", Preference: 1, Price: 1}}
+	if _, err := BestResponse(0, good); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("zero budget: %v", err)
+	}
+	if _, err := BestResponse(math.NaN(), good); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("NaN budget: %v", err)
+	}
+	if _, err := BestResponse(1, nil); !errors.Is(err, ErrNoHosts) {
+		t.Errorf("no hosts: %v", err)
+	}
+	bad := []Host{{ID: "a", Preference: 0, Price: 1}}
+	if _, err := BestResponse(1, bad); !errors.Is(err, ErrBadHost) {
+		t.Errorf("zero preference: %v", err)
+	}
+	bad[0] = Host{ID: "a", Preference: 1, Price: -1}
+	if _, err := BestResponse(1, bad); !errors.Is(err, ErrBadHost) {
+		t.Errorf("negative price: %v", err)
+	}
+}
+
+func TestSingleHostGetsWholeBudget(t *testing.T) {
+	allocs, err := BestResponse(10, []Host{{ID: "a", Preference: 2800, Price: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 1 || !mathx.AlmostEqual(allocs[0].Bid, 10, 1e-9) {
+		t.Errorf("allocs = %+v", allocs)
+	}
+}
+
+func TestSymmetricHostsSplitEvenly(t *testing.T) {
+	hosts := []Host{
+		{ID: "a", Preference: 1000, Price: 1},
+		{ID: "b", Preference: 1000, Price: 1},
+		{ID: "c", Preference: 1000, Price: 1},
+		{ID: "d", Preference: 1000, Price: 1},
+	}
+	allocs, err := BestResponse(8, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 4 {
+		t.Fatalf("support = %d, want 4", len(allocs))
+	}
+	for _, a := range allocs {
+		if !mathx.AlmostEqual(a.Bid, 2, 1e-9) {
+			t.Errorf("host %s bid = %v, want 2", a.Host.ID, a.Bid)
+		}
+	}
+}
+
+func TestBidsSumToBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(20)
+		hosts := make([]Host, n)
+		for i := range hosts {
+			hosts[i] = Host{
+				ID:         fmt.Sprintf("h%02d", i),
+				Preference: src.Uniform(500, 4000),
+				Price:      src.Uniform(0.001, 5),
+			}
+		}
+		budget := src.Uniform(0.1, 100)
+		allocs, err := BestResponse(budget, hosts)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, a := range allocs {
+			if a.Bid <= 0 {
+				return false
+			}
+			sum += a.Bid
+		}
+		return mathx.AlmostEqual(sum, budget, 1e-6*budget)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMarginalUtilitiesEqualized verifies the KKT condition: on the support
+// set the marginal utility w*y/(x+y)^2 is a common constant lambda, and
+// every excluded host's marginal utility at zero (w/y) is <= lambda.
+func TestMarginalUtilitiesEqualized(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + src.Intn(15)
+		hosts := make([]Host, n)
+		for i := range hosts {
+			hosts[i] = Host{
+				ID:         fmt.Sprintf("h%02d", i),
+				Preference: src.Uniform(500, 4000),
+				Price:      src.Uniform(0.01, 10),
+			}
+		}
+		budget := src.Uniform(0.5, 50)
+		allocs, err := BestResponse(budget, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(allocs) == 0 {
+			t.Fatal("empty allocation")
+		}
+		lambda := -1.0
+		supported := map[string]bool{}
+		for _, a := range allocs {
+			m := a.Host.Preference * a.Host.Price / ((a.Bid + a.Host.Price) * (a.Bid + a.Host.Price))
+			if lambda < 0 {
+				lambda = m
+			} else if !mathx.AlmostEqual(m, lambda, 1e-6*lambda) {
+				t.Fatalf("trial %d: marginal utilities differ: %v vs %v", trial, m, lambda)
+			}
+			supported[a.Host.ID] = true
+		}
+		for _, h := range hosts {
+			if supported[h.ID] {
+				continue
+			}
+			if h.Preference/h.Price > lambda*(1+1e-6) {
+				t.Fatalf("trial %d: excluded host %s has marginal utility %v > lambda %v",
+					trial, h.ID, h.Preference/h.Price, lambda)
+			}
+		}
+	}
+}
+
+// TestBeatsBruteForceTwoHosts compares against an exhaustive grid search on
+// two hosts: no split may do better than the optimizer's.
+func TestBeatsBruteForceTwoHosts(t *testing.T) {
+	src := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		hosts := []Host{
+			{ID: "a", Preference: src.Uniform(500, 4000), Price: src.Uniform(0.01, 5)},
+			{ID: "b", Preference: src.Uniform(500, 4000), Price: src.Uniform(0.01, 5)},
+		}
+		budget := src.Uniform(0.5, 20)
+		allocs, err := BestResponse(budget, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Utility(allocs)
+		best := 0.0
+		for i := 0; i <= 10000; i++ {
+			xa := budget * float64(i) / 10000
+			u := UtilityAt(hosts[0], xa) + UtilityAt(hosts[1], budget-xa)
+			if u > best {
+				best = u
+			}
+		}
+		if got < best-1e-4*best {
+			t.Fatalf("trial %d: optimizer %v < brute force %v", trial, got, best)
+		}
+	}
+}
+
+func TestExpensiveHostsExcluded(t *testing.T) {
+	hosts := []Host{
+		{ID: "cheap", Preference: 1000, Price: 0.01},
+		{ID: "pricey", Preference: 1000, Price: 100},
+	}
+	allocs, err := BestResponse(0.5, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 1 || allocs[0].Host.ID != "cheap" {
+		t.Errorf("small budget should concentrate on the cheap host: %+v", allocs)
+	}
+	// A big budget brings the pricey host back into the support.
+	allocs, err = BestResponse(1000, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 {
+		t.Errorf("large budget should fund both hosts: %+v", allocs)
+	}
+}
+
+func TestHigherPreferenceGetsBiggerBid(t *testing.T) {
+	hosts := []Host{
+		{ID: "fast", Preference: 3600, Price: 1},
+		{ID: "slow", Preference: 1000, Price: 1},
+	}
+	allocs, err := BestResponse(10, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 || allocs[0].Host.ID != "fast" || allocs[0].Bid <= allocs[1].Bid {
+		t.Errorf("allocs = %+v", allocs)
+	}
+}
+
+func TestUtilityMonotoneInBudget(t *testing.T) {
+	src := rng.New(3)
+	hosts := make([]Host, 8)
+	for i := range hosts {
+		hosts[i] = Host{ID: fmt.Sprintf("h%d", i), Preference: src.Uniform(500, 3000), Price: src.Uniform(0.1, 2)}
+	}
+	prev := 0.0
+	for _, budget := range []float64{0.5, 1, 2, 5, 10, 50, 200} {
+		allocs, err := BestResponse(budget, hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := Utility(allocs)
+		if u <= prev {
+			t.Fatalf("utility not increasing: U(%v) = %v <= %v", budget, u, prev)
+		}
+		prev = u
+	}
+	// Utility is bounded by the sum of preferences.
+	var bound float64
+	for _, h := range hosts {
+		bound += h.Preference
+	}
+	if prev >= bound {
+		t.Errorf("utility %v exceeds bound %v", prev, bound)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	hosts := []Host{
+		{ID: "b", Preference: 1000, Price: 1},
+		{ID: "a", Preference: 1000, Price: 1},
+	}
+	a1, _ := BestResponse(4, hosts)
+	a2, _ := BestResponse(4, []Host{hosts[1], hosts[0]})
+	if len(a1) != 2 || len(a2) != 2 {
+		t.Fatal("want both hosts")
+	}
+	for i := range a1 {
+		if a1[i].Host.ID != a2[i].Host.ID || a1[i].Bid != a2[i].Bid {
+			t.Errorf("input order changed output: %+v vs %+v", a1, a2)
+		}
+	}
+}
+
+func TestTopNAndRebalance(t *testing.T) {
+	hosts := make([]Host, 10)
+	for i := range hosts {
+		hosts[i] = Host{ID: fmt.Sprintf("h%d", i), Preference: 1000 + float64(i)*100, Price: 0.5}
+	}
+	allocs, err := BestResponse(20, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopN(allocs, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d", len(top))
+	}
+	re, err := Rebalance(20, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, a := range re {
+		sum += a.Bid
+	}
+	if !mathx.AlmostEqual(sum, 20, 1e-9) {
+		t.Errorf("rebalanced sum = %v", sum)
+	}
+	if got := TopN(allocs, 0); len(got) != len(allocs) {
+		t.Error("TopN(0) should be identity")
+	}
+	if got := TopN(allocs, 100); len(got) != len(allocs) {
+		t.Error("TopN(>len) should be identity")
+	}
+}
+
+func TestTopNByUtilityPrefersBestDeals(t *testing.T) {
+	// Five idle hosts (cheap) and five contested hosts (pricey). Bids on
+	// contested hosts are larger, but utility contributions are smaller —
+	// TopNByUtility must keep the idle hosts.
+	hosts := make([]Host, 10)
+	for i := range hosts {
+		price := 1.0 / 3600
+		if i >= 5 {
+			price = 50.0 / 3600
+		}
+		hosts[i] = Host{ID: fmt.Sprintf("h%02d", i), Preference: 5600, Price: price}
+	}
+	allocs, err := BestResponse(200.0/3600, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 10 {
+		t.Fatalf("support = %d, want all 10 (budget chosen to include contested hosts)", len(allocs))
+	}
+	byUtil := TopNByUtility(allocs, 5)
+	for _, a := range byUtil {
+		if a.Host.ID >= "h05" {
+			t.Errorf("utility ranking kept contested host %s", a.Host.ID)
+		}
+	}
+	byBid := TopN(allocs, 5)
+	for _, a := range byBid {
+		if a.Host.ID < "h05" {
+			t.Errorf("bid ranking kept idle host %s (bids on contested hosts are larger)", a.Host.ID)
+		}
+	}
+	// Identity cases.
+	if got := TopNByUtility(allocs, 0); len(got) != len(allocs) {
+		t.Error("TopNByUtility(0) should be identity")
+	}
+	if got := TopNByUtility(allocs, 100); len(got) != len(allocs) {
+		t.Error("TopNByUtility(>len) should be identity")
+	}
+	// Input must not be reordered.
+	if allocs[0].Bid < allocs[len(allocs)-1].Bid {
+		t.Error("TopNByUtility mutated its input ordering")
+	}
+}
+
+func TestUtilityHelpers(t *testing.T) {
+	h := Host{ID: "x", Preference: 100, Price: 1}
+	if UtilityAt(h, 0) != 0 || UtilityAt(h, -1) != 0 {
+		t.Error("non-positive bid should have zero utility")
+	}
+	if !mathx.AlmostEqual(UtilityAt(h, 1), 50, 1e-12) {
+		t.Errorf("UtilityAt = %v", UtilityAt(h, 1))
+	}
+	if Utility([]Allocation{{Host: h, Bid: 0}}) != 0 {
+		t.Error("zero bids contribute no utility")
+	}
+}
+
+func BenchmarkBestResponse(b *testing.B) {
+	src := rng.New(1)
+	hosts := make([]Host, 30)
+	for i := range hosts {
+		hosts[i] = Host{ID: fmt.Sprintf("h%02d", i), Preference: src.Uniform(1000, 3600), Price: src.Uniform(0.01, 2)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestResponse(100, hosts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// writeCSV writes a rectangular table of float64 rows with a header.
+func writeCSV(w io.Writer, header []string, rows [][]float64) error {
+	for i, h := range header {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, h); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("experiment: csv row has %d fields, header %d", len(row), len(header))
+		}
+		for i, v := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSVFile writes a CSV into dir/name.
+func writeCSVFile(dir, name string, header []string, rows [][]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeCSV(f, header, rows); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV exports the Figure 3 capacity curves (one column per guarantee
+// level) as figure3.csv in dir.
+func (r *Figure3Result) WriteCSV(dir string) error {
+	header := []string{"budget_per_day"}
+	for _, g := range r.Guarantees {
+		header = append(header, fmt.Sprintf("capacity_mhz_p%02.0f", g*100))
+	}
+	rows := make([][]float64, len(r.BudgetsPerDay))
+	for i, b := range r.BudgetsPerDay {
+		row := []float64{b}
+		for g := range r.Guarantees {
+			row = append(row, r.CurvesMHz[g][i])
+		}
+		rows[i] = row
+	}
+	return writeCSVFile(dir, "figure3.csv", header, rows)
+}
+
+// WriteCSV exports the Figure 4 evaluation price trace as figure4.csv.
+func (r *Figure4Result) WriteCSV(dir string) error {
+	rows := make([][]float64, len(r.Series))
+	for i, v := range r.Series {
+		rows[i] = []float64{float64(i), v}
+	}
+	return writeCSVFile(dir, "figure4.csv", []string{"bucket", "price"}, rows)
+}
+
+// WriteCSV exports the Figure 5 aggregate performance series as figure5.csv.
+func (r *Figure5Result) WriteCSV(dir string) error {
+	rows := make([][]float64, len(r.RiskFree))
+	for i := range r.RiskFree {
+		rows[i] = []float64{float64(i), r.RiskFree[i], r.Equal[i]}
+	}
+	return writeCSVFile(dir, "figure5.csv",
+		[]string{"step", "risk_free", "equal_share"}, rows)
+}
+
+// WriteCSV exports the Figure 6 window densities as figure6.csv: one row per
+// (window, bucket).
+func (r *Figure6Result) WriteCSV(dir string) error {
+	header := []string{"window_index", "bucket_lo", "bucket_hi", "proportion"}
+	var rows [][]float64
+	for wi, w := range r.Windows {
+		for _, b := range w.Buckets {
+			rows = append(rows, []float64{float64(wi), b.Lo, b.Hi, b.Proportion})
+		}
+	}
+	return writeCSVFile(dir, "figure6.csv", header, rows)
+}
+
+// WriteCSV exports the Figure 7 approximated densities as figure7.csv.
+func (r *Figure7Result) WriteCSV(dir string) error {
+	header := []string{"dist_index", "bucket_lo", "bucket_hi", "approx_proportion"}
+	var rows [][]float64
+	for di, rep := range r.Reports {
+		for _, b := range rep.ApproxBuckets {
+			rows = append(rows, []float64{float64(di), b.Lo, b.Hi, b.Proportion})
+		}
+	}
+	return writeCSVFile(dir, "figure7.csv", header, rows)
+}
+
+// WriteCSV exports a table result (Table 1 or 2) as <name>.csv.
+func (r *TableResult) WriteCSV(dir, name string) error {
+	rows := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []float64{
+			float64(i + 1), row.Budget.Credits(), row.TimeHours,
+			row.CostPerH, row.LatencyMin, row.Nodes,
+		}
+	}
+	return writeCSVFile(dir, name,
+		[]string{"user", "budget", "time_h", "cost_per_h", "latency_min", "nodes"}, rows)
+}

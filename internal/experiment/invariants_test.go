@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tycoongrid/internal/bank"
+)
+
+// TestMoneyConservedAcrossRandomWorkloads is the repository's end-to-end
+// economic invariant: across arbitrary random market activity — submissions,
+// competition, boosts implied by batch waves, completions, refunds — the
+// total money in the bank equals exactly what was deposited. No operation
+// may mint or destroy a microcredit.
+func TestMoneyConservedAcrossRandomWorkloads(t *testing.T) {
+	f := func(seed int64, batch bool) bool {
+		p := DefaultLoadParams()
+		p.World.Seed = seed
+		p.World.Hosts = 4
+		p.World.Users = 4
+		p.Hours = 8
+		p.MeanInterarrival = 20 * time.Minute
+		if batch {
+			p.BatchPeriod = 3 * time.Hour
+			p.BatchJobs = 2
+		}
+		res, err := RunLoad(p)
+		if err != nil {
+			return false
+		}
+		deposited := bank.Amount(p.World.Users) * p.World.GrantPerUser
+		return res.World.Bank.TotalMoney() == deposited
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllBudgetsAccountedFor checks the finer-grained flow on a completed
+// Table run: every user's spend equals charges to hosts plus refunds held at
+// the broker.
+func TestAllBudgetsAccountedFor(t *testing.T) {
+	p := Table2Params()
+	p.SubJobs = 20
+	w, err := NewWorld(p.World)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalBudget bank.Amount
+	for i, u := range w.Users {
+		if _, err := w.SubmitApp(u, p.Budgets[i], p.Deadline, p.SubJobs, p.ChunkMinutes, p.MaxNodes); err != nil {
+			t.Fatal(err)
+		}
+		totalBudget += p.Budgets[i]
+	}
+	w.Engine.RunFor(p.Horizon)
+
+	earnings, err := w.Bank.Balance("grid-earnings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := w.Bank.Balance("broker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if earnings+broker != totalBudget {
+		t.Errorf("earnings %v + broker refunds %v != total budgets %v",
+			earnings, broker, totalBudget)
+	}
+	// Every sub-account drained.
+	for _, id := range w.Bank.Accounts() {
+		a, err := w.Bank.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Parent == "broker" && a.Balance != 0 {
+			t.Errorf("sub-account %s still holds %v", id, a.Balance)
+		}
+		if a.Balance < 0 {
+			t.Errorf("account %s is negative: %v", id, a.Balance)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLACalibrationExperiment(t *testing.T) {
+	res, err := RunSLACalibration(DefaultSLAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.NormalPremium <= 0 || row.EmpiricalPremium <= 0 {
+			t.Errorf("p=%v: degenerate premiums %+v", row.Confidence, row)
+		}
+		// Violation rates are probabilities.
+		for _, v := range []float64{row.NormalViolation, row.EmpiricalViolation} {
+			if v < 0 || v > 1 {
+				t.Errorf("p=%v: violation %v outside [0,1]", row.Confidence, v)
+			}
+		}
+	}
+	// Premiums rise with confidence under both models.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].NormalPremium < res.Rows[i-1].NormalPremium {
+			t.Errorf("normal premium not increasing: %+v", res.Rows)
+		}
+		if res.Rows[i].EmpiricalPremium < res.Rows[i-1].EmpiricalPremium {
+			t.Errorf("empirical premium not increasing: %+v", res.Rows)
+		}
+	}
+	// The empirical model sees the actual (skewed) distribution, so its
+	// violation rate calibrates tightly to 1-p...
+	var errN, errE float64
+	for _, row := range res.Rows {
+		errN += math.Abs(row.NormalViolation - row.TargetViolation)
+		errE += math.Abs(row.EmpiricalViolation - row.TargetViolation)
+		if math.Abs(row.EmpiricalViolation-row.TargetViolation) > 0.03 {
+			t.Errorf("p=%v: empirical violation %.3f far from target %.3f",
+				row.Confidence, row.EmpiricalViolation, row.TargetViolation)
+		}
+	}
+	// ...and beats the normal model overall on this non-normal trace.
+	if errE > errN {
+		t.Errorf("empirical calibration error %.3f not better than normal %.3f", errE, errN)
+	}
+}
+
+func TestSLACalibrationValidation(t *testing.T) {
+	p := DefaultSLAParams()
+	p.CapacityFrac = 0
+	if _, err := RunSLACalibration(p); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	p = DefaultSLAParams()
+	p.Confidences = nil
+	if _, err := RunSLACalibration(p); err == nil {
+		t.Error("no confidences accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"tycoongrid/internal/bank"
+)
+
+func TestTable1EqualFundsShape(t *testing.T) {
+	p := Table1Params()
+	res, err := RunBestResponseTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Completed != r.Total {
+			t.Fatalf("%s completed %d/%d", r.User, r.Completed, r.Total)
+		}
+		if r.TimeHours <= 0 || r.LatencyMin <= 0 || r.Nodes <= 0 {
+			t.Fatalf("%s has empty metrics: %+v", r.User, r)
+		}
+	}
+	// Paper shape: early users (1-2) get at least as many nodes and at
+	// least as good latency as late users (3-5).
+	early := (res.Rows[0].LatencyMin + res.Rows[1].LatencyMin) / 2
+	late := (res.Rows[2].LatencyMin + res.Rows[3].LatencyMin + res.Rows[4].LatencyMin) / 3
+	if late < early {
+		t.Errorf("late users got better latency (%v) than early (%v)", late, early)
+	}
+	earlyNodes := (res.Rows[0].Nodes + res.Rows[1].Nodes) / 2
+	lateNodes := (res.Rows[2].Nodes + res.Rows[3].Nodes + res.Rows[4].Nodes) / 3
+	if lateNodes > earlyNodes {
+		t.Errorf("late users used more nodes (%v) than early (%v)", lateNodes, earlyNodes)
+	}
+	// Equal funding: cost rates are in the same ballpark (within 3x).
+	if res.Groups[len(res.Groups)-1].CostPerH > 3*res.Groups[0].CostPerH+1 {
+		t.Errorf("cost rates diverge wildly: %+v", res.Groups)
+	}
+}
+
+func TestTable2TwoPointShape(t *testing.T) {
+	res, err := RunBestResponseTable(Table2Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	for _, r := range res.Rows {
+		if r.Completed != r.Total {
+			t.Fatalf("%s completed %d/%d", r.User, r.Completed, r.Total)
+		}
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %+v", res.Groups)
+	}
+	low, high := res.Groups[0], res.Groups[1]
+	if high.Budget <= low.Budget {
+		t.Fatalf("grouping wrong: %+v", res.Groups)
+	}
+	// Paper shape: the 500$ users pay a higher price per hour and obtain
+	// better latency than the 100$ users.
+	if high.CostPerH <= low.CostPerH {
+		t.Errorf("high funders cost %.2f <= low funders %.2f", high.CostPerH, low.CostPerH)
+	}
+	if high.LatencyMin >= low.LatencyMin {
+		t.Errorf("high funders latency %.2f >= low funders %.2f", high.LatencyMin, low.LatencyMin)
+	}
+	if high.TimeHours >= low.TimeHours {
+		t.Errorf("high funders time %.2f >= low funders %.2f", high.TimeHours, low.TimeHours)
+	}
+}
+
+func TestRunBestResponseValidation(t *testing.T) {
+	p := Table1Params()
+	p.Budgets = p.Budgets[:2]
+	if _, err := RunBestResponseTable(p); err == nil {
+		t.Error("budget/user mismatch accepted")
+	}
+	p = Table1Params()
+	p.SubJobs = 0
+	if _, err := RunBestResponseTable(p); err == nil {
+		t.Error("zero sub-jobs accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := Table1Params()
+	p.SubJobs = 10
+	p.Horizon = 12 * time.Hour
+	a, err := RunBestResponseTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBestResponseTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("non-deterministic: %+v vs %+v", a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestGroupRows(t *testing.T) {
+	rows := []UserRow{
+		{User: "u1", Budget: 100 * bank.Credit, TimeHours: 2, Nodes: 10},
+		{User: "u2", Budget: 100 * bank.Credit, TimeHours: 4, Nodes: 20},
+		{User: "u3", Budget: 500 * bank.Credit, TimeHours: 6, Nodes: 30},
+	}
+	gs := groupRows(rows, nil)
+	if len(gs) != 2 {
+		t.Fatalf("groups = %+v", gs)
+	}
+	if gs[0].Label != "1-2" || gs[0].TimeHours != 3 || gs[0].Nodes != 15 {
+		t.Errorf("group 0 = %+v", gs[0])
+	}
+	if gs[1].Label != "3" || gs[1].TimeHours != 6 {
+		t.Errorf("group 1 = %+v", gs[1])
+	}
+	// Explicit partition overrides budget grouping.
+	gs = groupRows(rows, []int{1, 2})
+	if len(gs) != 2 || gs[0].Label != "1" || gs[1].Label != "2-3" {
+		t.Errorf("explicit groups = %+v", gs)
+	}
+}

@@ -1,0 +1,402 @@
+// Package grid is the cluster substrate of the reproduction: a
+// discrete-event simulation of Tycoon-controlled hosts that stands in for
+// the paper's physical testbed (see DESIGN.md §2). Each host runs a real
+// auction.Market and vm.Manager; every reallocation interval (10 s) the
+// cluster ticks all markets, applies charges, and advances the CPU-bound
+// work of running tasks by their allocated share — with the paper's
+// dual-processor behaviour: a single task can use at most one physical CPU,
+// so two users on a dual-CPU host may both get a full CPU without competing.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tycoongrid/internal/auction"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/vm"
+)
+
+// HostSpec describes one simulated host.
+type HostSpec struct {
+	ID              string
+	Site            string
+	CPUs            int     // physical processors
+	CPUMHz          float64 // capacity of one processor
+	MaxVMs          int
+	CreateOverhead  time.Duration
+	InstallOverhead time.Duration
+	VirtOverhead    float64
+}
+
+// Host is one cluster node: a market plus a VM manager.
+type Host struct {
+	Spec   HostSpec
+	Market *auction.Market
+	VMs    *vm.Manager
+	tasks  map[string]*Task
+}
+
+// TotalMHz returns the host's aggregate CPU capacity after virtualization
+// overhead.
+func (h *Host) TotalMHz() float64 {
+	return h.VMs.EffectiveCapacity(h.Spec.CPUMHz * float64(h.Spec.CPUs))
+}
+
+// PerCPUMHz returns one processor's effective capacity — the ceiling for a
+// single-threaded task.
+func (h *Host) PerCPUMHz() float64 {
+	return h.VMs.EffectiveCapacity(h.Spec.CPUMHz)
+}
+
+// Task is one sub-job executing in a VM on one host.
+type Task struct {
+	ID        string
+	HostID    string
+	Owner     auction.BidderID
+	Work      float64 // remaining MHz-seconds
+	TotalWork float64
+	VMID      string
+	ReadyAt   time.Time // VM boot/install completes
+	Started   time.Time // submission time
+	DoneAt    time.Time // exact completion time (set when finished)
+	OnDone    func(*Task)
+}
+
+// Config configures a cluster.
+type Config struct {
+	Hosts        []HostSpec
+	Interval     time.Duration // reallocation period; default 10 s
+	ReservePrice float64       // credits/second floor for every market
+	// PurgeIdleAfter, when positive, destroys VMs idle longer than this at
+	// every reallocation — the paper's "virtual machine purging or
+	// hibernation model that could increase this number further" (§3),
+	// freeing slots for other users at the price of a fresh boot later.
+	PurgeIdleAfter time.Duration
+}
+
+// Cluster is the simulated Tycoon network.
+type Cluster struct {
+	engine   *sim.Engine
+	interval time.Duration
+	purge    time.Duration
+	hosts    map[string]*Host
+	order    []string // deterministic host iteration order
+	taskSeq  int
+
+	// OnCharge and OnRefund, when set, observe every market charge/refund;
+	// the agent layer uses them to move real bank money.
+	OnCharge func(hostID string, c auction.Charge)
+	OnRefund func(hostID string, c auction.Charge)
+
+	ticker *sim.Ticker
+}
+
+// Errors returned by the cluster.
+var (
+	ErrUnknownHost = errors.New("grid: unknown host")
+	ErrBadSpec     = errors.New("grid: invalid host spec")
+)
+
+// New builds a cluster on the given simulation engine.
+func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
+	if engine == nil {
+		return nil, errors.New("grid: nil engine")
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("%w: no hosts", ErrBadSpec)
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = auction.DefaultInterval
+	}
+	c := &Cluster{
+		engine:   engine,
+		interval: interval,
+		purge:    cfg.PurgeIdleAfter,
+		hosts:    make(map[string]*Host, len(cfg.Hosts)),
+	}
+	for _, spec := range cfg.Hosts {
+		if spec.ID == "" || spec.CPUs < 1 || spec.CPUMHz <= 0 {
+			return nil, fmt.Errorf("%w: %+v", ErrBadSpec, spec)
+		}
+		if spec.MaxVMs < 1 {
+			spec.MaxVMs = 15 * spec.CPUs
+		}
+		if _, dup := c.hosts[spec.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate host %q", ErrBadSpec, spec.ID)
+		}
+		vmm, err := vm.NewManager(vm.Config{
+			HostID:          spec.ID,
+			MaxVMs:          spec.MaxVMs,
+			CreateOverhead:  spec.CreateOverhead,
+			InstallOverhead: spec.InstallOverhead,
+			VirtOverhead:    spec.VirtOverhead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		market, err := auction.NewMarket(auction.Config{
+			HostID:       spec.ID,
+			CapacityMHz:  vmm.EffectiveCapacity(spec.CPUMHz * float64(spec.CPUs)),
+			ReservePrice: cfg.ReservePrice,
+			Start:        engine.Now(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.hosts[spec.ID] = &Host{Spec: spec, Market: market, VMs: vmm, tasks: make(map[string]*Task)}
+		c.order = append(c.order, spec.ID)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Start begins the reallocation ticker. It must be called once before
+// running the simulation.
+func (c *Cluster) Start() error {
+	if c.ticker != nil {
+		return errors.New("grid: cluster already started")
+	}
+	t, err := c.engine.Every(c.interval, c.tick)
+	if err != nil {
+		return err
+	}
+	c.ticker = t
+	return nil
+}
+
+// Stop halts the reallocation ticker.
+func (c *Cluster) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+// Engine returns the simulation engine driving the cluster.
+func (c *Cluster) Engine() *sim.Engine { return c.engine }
+
+// Interval returns the reallocation period.
+func (c *Cluster) Interval() time.Duration { return c.interval }
+
+// Host returns a host by id.
+func (c *Cluster) Host(id string) (*Host, error) {
+	h, ok := c.hosts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, id)
+	}
+	return h, nil
+}
+
+// HostIDs returns all host ids in deterministic order.
+func (c *Cluster) HostIDs() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// PlaceBid enters budget on a host's market for bidder, valid until
+// deadline.
+func (c *Cluster) PlaceBid(hostID string, bidder auction.BidderID, budget bank.Amount, deadline time.Time) (bank.Amount, error) {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return 0, err
+	}
+	return h.Market.PlaceBid(bidder, budget, deadline)
+}
+
+// Boost adds funds to an existing bid.
+func (c *Cluster) Boost(hostID string, bidder auction.BidderID, extra bank.Amount) error {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return err
+	}
+	return h.Market.Boost(bidder, extra)
+}
+
+// StartTask launches a sub-job for owner on a host: it acquires a VM (reuse
+// first), and the task begins consuming CPU once the VM is ready. workMHzSec
+// is the task's size in MHz-seconds (e.g. 212 minutes at 2800 MHz =
+// 212*60*2800). onDone fires at the tick when the task completes, with
+// DoneAt back-dated to the exact completion instant.
+func (c *Cluster) StartTask(hostID string, owner auction.BidderID, envs []string, workMHzSec float64, onDone func(*Task)) (*Task, error) {
+	if workMHzSec <= 0 || math.IsNaN(workMHzSec) || math.IsInf(workMHzSec, 0) {
+		return nil, fmt.Errorf("grid: bad task size %v", workMHzSec)
+	}
+	h, err := c.Host(hostID)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := h.VMs.Acquire(string(owner), envs, c.engine.Now())
+	if err != nil {
+		return nil, err
+	}
+	c.taskSeq++
+	t := &Task{
+		ID:        fmt.Sprintf("task-%05d", c.taskSeq),
+		HostID:    hostID,
+		Owner:     owner,
+		Work:      workMHzSec,
+		TotalWork: workMHzSec,
+		VMID:      machine.ID,
+		ReadyAt:   machine.ReadyAt,
+		Started:   c.engine.Now(),
+		OnDone:    onDone,
+	}
+	h.tasks[t.ID] = t
+	// The owner is consuming CPU on this host now.
+	if err := h.Market.SetActive(owner, true); err != nil && !errors.Is(err, auction.ErrUnknownBidder) {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RunningTasks returns the number of live tasks on a host.
+func (h *Host) RunningTasks() int { return len(h.tasks) }
+
+// tick advances every market and every task by one interval.
+func (c *Cluster) tick() {
+	now := c.engine.Now()
+	for _, id := range c.order {
+		h := c.hosts[id]
+		charges, refunds := h.Market.Tick(now)
+		if c.OnCharge != nil {
+			for _, ch := range charges {
+				c.OnCharge(id, ch)
+			}
+		}
+		if c.OnRefund != nil {
+			for _, r := range refunds {
+				c.OnRefund(id, r)
+			}
+		}
+		c.advanceTasks(h, now)
+		if c.purge > 0 {
+			h.VMs.PurgeIdleOlderThan(now.Add(-c.purge))
+		}
+	}
+}
+
+// advanceTasks applies one interval of CPU progress to a host's tasks.
+func (c *Cluster) advanceTasks(h *Host, now time.Time) {
+	if len(h.tasks) == 0 {
+		return
+	}
+	shares := h.Market.Shares()
+	frac := make(map[auction.BidderID]float64, len(shares))
+	for _, s := range shares {
+		frac[s.Bidder] = s.Fraction
+	}
+	// Count concurrent tasks per owner on this host: an owner's share is
+	// divided among their tasks here.
+	perOwner := make(map[auction.BidderID]int)
+	for _, t := range h.tasks {
+		perOwner[t.Owner]++
+	}
+	total := h.TotalMHz()
+	perCPU := h.PerCPUMHz()
+	dt := c.interval.Seconds()
+
+	// Deterministic order.
+	ids := make([]string, 0, len(h.tasks))
+	for id := range h.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var finished []*Task
+	for _, id := range ids {
+		t := h.tasks[id]
+		// Effective compute window within (now-dt, now]: clip by VM readiness.
+		eff := dt
+		if t.ReadyAt.After(now) {
+			continue
+		}
+		if windowStart := now.Add(-c.interval); t.ReadyAt.After(windowStart) {
+			eff = now.Sub(t.ReadyAt).Seconds()
+		}
+		share := frac[t.Owner] / float64(perOwner[t.Owner])
+		rate := share * total
+		// Dual-CPU rule: a single-threaded task caps at one processor.
+		if rate > perCPU {
+			rate = perCPU
+		}
+		if rate <= 0 || eff <= 0 {
+			continue
+		}
+		t.Work -= rate * eff
+		if t.Work <= 0 {
+			// Back-date the exact completion instant within the interval.
+			overshoot := -t.Work / rate
+			t.DoneAt = now.Add(-time.Duration(overshoot * float64(time.Second)))
+			t.Work = 0
+			finished = append(finished, t)
+		}
+	}
+	for _, t := range finished {
+		delete(h.tasks, t.ID)
+		if err := h.VMs.Release(t.VMID, now); err != nil {
+			// A released VM in a bad state indicates an internal bug; tasks
+			// own their VM exclusively between Acquire and Release.
+			panic(fmt.Sprintf("grid: releasing %s: %v", t.VMID, err))
+		}
+		if perOwner[t.Owner] == 1 && !ownerHasTasks(h, t.Owner) {
+			// Owner no longer computes here: stop charging them.
+			_ = h.Market.SetActive(t.Owner, false)
+		}
+		if t.OnDone != nil {
+			t.OnDone(t)
+		}
+	}
+}
+
+func ownerHasTasks(h *Host, owner auction.BidderID) bool {
+	for _, t := range h.tasks {
+		if t.Owner == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// CancelTask aborts a running task: the VM is released, the owner is
+// deactivated when this was their last task on the host, and OnDone does NOT
+// fire. Progress already made is simply lost (the paper's jobs are
+// restartable bag-of-tasks chunks).
+func (c *Cluster) CancelTask(hostID, taskID string) error {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return err
+	}
+	t, ok := h.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("grid: unknown task %q on %q", taskID, hostID)
+	}
+	delete(h.tasks, taskID)
+	if err := h.VMs.Release(t.VMID, c.engine.Now()); err != nil {
+		panic(fmt.Sprintf("grid: cancelling %s: %v", t.VMID, err))
+	}
+	if !ownerHasTasks(h, t.Owner) {
+		_ = h.Market.SetActive(t.Owner, false)
+	}
+	return nil
+}
+
+// Progress returns a task's completed fraction in [0, 1], or an error if the
+// task is unknown on that host (completed tasks are forgotten).
+func (c *Cluster) Progress(hostID, taskID string) (float64, error) {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return 0, err
+	}
+	t, ok := h.tasks[taskID]
+	if !ok {
+		return 0, fmt.Errorf("grid: unknown task %q on %q", taskID, hostID)
+	}
+	return 1 - t.Work/t.TotalWork, nil
+}

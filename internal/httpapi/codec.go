@@ -1,0 +1,100 @@
+// Package httpapi exposes the market services over JSON/HTTP: the Bank, the
+// Service Location Service, and per-host Auctioneers, each with a typed Go
+// client. These are the deployable counterparts of the in-process components
+// the simulator wires directly — the same bank.Bank, sls.Registry and
+// auction.Market instances sit behind the handlers, so daemon and simulation
+// behaviour cannot drift apart.
+//
+// Authentication follows the paper's model: operations that move money carry
+// an application-level Ed25519 signature inside the request body (the bank
+// verifies it against the account's registered key), so the transport needs
+// no session state and no ACLs.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// apiError is the wire form of a failure.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON emits a 200 response with a JSON body.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more we can do.
+		return
+	}
+}
+
+// WriteError maps service errors to HTTP statuses.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+// ReadJSON decodes a request body with a size cap.
+func ReadJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("httpapi: reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return errors.New("httpapi: empty request body")
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("httpapi: decoding body: %w", err)
+	}
+	return nil
+}
+
+// do executes a client request and decodes the JSON response into out
+// (which may be nil). Non-2xx responses are turned into errors carrying the
+// server's message.
+func do(client *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("httpapi: %s %s: %s (status %d)", method, url, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("httpapi: %s %s: status %d", method, url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("httpapi: decoding response: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/box"
+)
+
+// jobWorld spins up a box behind a JobService.
+func jobWorld(t *testing.T) (*box.Box, *JobClient, *JobService) {
+	t.Helper()
+	b, err := box.New(box.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewJobService(b.Manager, b.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return b, NewJobClient(srv.URL, nil), svc
+}
+
+func (s *JobService) driveFor(d time.Duration) {
+	s.Drive(s.engine.Now().Add(d))
+}
+
+func TestNewJobServiceValidation(t *testing.T) {
+	if _, err := NewJobService(nil, nil); err == nil {
+		t.Error("nil manager accepted")
+	}
+}
+
+func TestJobSubmissionOverHTTP(t *testing.T) {
+	b, client, svc := jobWorld(t)
+	if _, err := b.CreateUser("alice", 100*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 25*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xrsl := fmt.Sprintf(
+		"&(executable=scan.sh)(jobname=http-job)(count=2)(cputime=5)(walltime=60)(transfertoken=%s)", tok)
+	jw, err := client.Submit(xrsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jw.State != "PREPARING" && jw.State != "INLRMS:R" {
+		t.Errorf("initial state = %q", jw.State)
+	}
+	svc.driveFor(time.Hour)
+	got, err := client.Job(jw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "FINISHED" {
+		t.Fatalf("state = %q (%s)", got.State, got.Error)
+	}
+	if got.SubJobsDone != 2 || got.SubJobsTotal != 2 {
+		t.Errorf("sub-jobs %d/%d", got.SubJobsDone, got.SubJobsTotal)
+	}
+	if got.JobName != "http-job" || got.DN == "" || got.Charged == "" {
+		t.Errorf("wire fields missing: %+v", got)
+	}
+	jobs, err := client.Jobs()
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("jobs = %v, %v", jobs, err)
+	}
+}
+
+func TestJobSubmitErrorsOverHTTP(t *testing.T) {
+	_, client, _ := jobWorld(t)
+	if _, err := client.Submit("not xrsl"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := client.Submit(""); err == nil {
+		t.Error("empty body accepted")
+	}
+	if _, err := client.Job("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("ghost job: %v", err)
+	}
+}
+
+func TestJobBoostOverHTTP(t *testing.T) {
+	b, client, svc := jobWorld(t)
+	if _, err := b.CreateUser("alice", 1000*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 20*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xrsl := fmt.Sprintf(
+		"&(executable=x)(count=2)(cputime=30)(walltime=600)(transfertoken=%s)", tok)
+	jw, err := client.Submit(xrsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.driveFor(time.Minute)
+	boost, err := b.MintToken("alice", 50*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Boost(jw.ID, boost); err != nil {
+		t.Fatalf("boost: %v", err)
+	}
+	if err := client.Boost("ghost", boost); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("ghost boost: %v", err)
+	}
+	if err := client.Boost(jw.ID, "garbage"); err == nil {
+		t.Error("garbage token accepted")
+	}
+}
+
+func TestMonitorOverHTTP(t *testing.T) {
+	b, client, svc := jobWorld(t)
+	snap, err := client.Monitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.PhysicalNodes != 8 || snap.ClusterName != "tycoon-box" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if _, err := b.CreateUser("alice", 100*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 10*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(fmt.Sprintf(
+		"&(executable=x)(count=2)(cputime=30)(walltime=300)(transfertoken=%s)", tok)); err != nil {
+		t.Fatal(err)
+	}
+	svc.driveFor(time.Minute)
+	snap, err = client.Monitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsRunning != 1 || snap.VirtualCPUs == 0 {
+		t.Errorf("running snapshot = %+v", snap)
+	}
+}
+
+func TestJobCancelOverHTTP(t *testing.T) {
+	b, client, svc := jobWorld(t)
+	if _, err := b.CreateUser("alice", 200*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.MintToken("alice", 50*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw, err := client.Submit(fmt.Sprintf(
+		"&(executable=x)(count=2)(cputime=120)(walltime=600)(transfertoken=%s)", tok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.driveFor(5 * time.Minute)
+	if err := client.Cancel(jw.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Job(jw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "KILLED" {
+		t.Errorf("state = %q", got.State)
+	}
+	if err := client.Cancel(jw.ID); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if err := client.Cancel("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("ghost cancel: %v", err)
+	}
+}
+
+func TestConcurrentDriveAndRequests(t *testing.T) {
+	// The daemon drives the engine from a goroutine while HTTP requests
+	// arrive concurrently; under -race this catches any locking gap.
+	b, client, svc := jobWorld(t)
+	if _, err := b.CreateUser("alice", 10000*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.driveFor(time.Minute)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		var tok string
+		var mintErr error
+		svc.WithLock(func() { tok, mintErr = b.MintToken("alice", 10*bank.Credit) })
+		if mintErr != nil {
+			t.Fatal(mintErr)
+		}
+		if _, err := client.Submit(fmt.Sprintf(
+			"&(executable=x)(count=2)(cputime=2)(walltime=60)(transfertoken=%s)", tok)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Jobs(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Monitor(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+	svc.driveFor(2 * time.Hour)
+	jobs, err := client.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := 0
+	for _, j := range jobs {
+		if j.State == "FINISHED" {
+			finished++
+		}
+	}
+	if finished != 10 {
+		t.Errorf("finished %d/10 jobs", finished)
+	}
+}
+
+func TestDriveIsMonotonic(t *testing.T) {
+	_, _, svc := jobWorld(t)
+	now := svc.engine.Now()
+	svc.Drive(now.Add(-time.Hour)) // must not rewind or panic
+	if svc.engine.Now().Before(now) {
+		t.Error("Drive went backwards")
+	}
+}

@@ -1,0 +1,217 @@
+// Package mathx provides the numerical primitives shared by the market's
+// prediction stack: the standard normal distribution (CDF, PDF, quantile),
+// numerically stable accumulators, and small helpers for root finding.
+//
+// Everything here is pure and allocation-free so it can run inside the
+// auctioneer's 10-second reallocation loop without GC pressure.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// Sqrt2Pi is sqrt(2*pi), the normalization constant of the normal PDF.
+const Sqrt2Pi = 2.5066282746310005024157652848110452530069867406099
+
+// NormalPDF returns the density of the standard normal distribution at x.
+func NormalPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / Sqrt2Pi
+}
+
+// NormalCDF returns Phi(x), the standard normal cumulative distribution
+// function, using the relation Phi(x) = erfc(-x/sqrt(2))/2 which is accurate
+// in both tails.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Phi^-1(p), the probit function, for p in (0, 1).
+// It uses Acklam's rational approximation refined with one step of Halley's
+// method, giving roughly full double precision. It panics on p outside
+// (0, 1); callers validate user input first.
+func NormalQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		panic("mathx: NormalQuantile requires 0 < p < 1")
+	}
+	x := acklam(p)
+	// Halley refinement: e = Phi(x) - p; x -= e/phi(x) / (1 + x*e/(2*phi(x))).
+	e := NormalCDF(x) - p
+	u := e * Sqrt2Pi * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// acklam is Peter Acklam's rational approximation to the probit function,
+// accurate to about 1.15e-9 before refinement.
+func acklam(p float64) float64 {
+	var (
+		a = [6]float64{
+			-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00,
+		}
+		b = [5]float64{
+			-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01,
+		}
+		c = [6]float64{
+			-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00,
+		}
+		d = [4]float64{
+			7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00,
+		}
+	)
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ErrNoBracket is returned by Bisect when f(lo) and f(hi) have the same sign.
+var ErrNoBracket = errors.New("mathx: root not bracketed")
+
+// Bisect finds x in [lo, hi] with f(x) ~= 0 to within tol using bisection.
+// f must be continuous and f(lo), f(hi) must have opposite signs.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// KahanSum accumulates float64 values with compensated (Kahan) summation,
+// which keeps the price statistics stable over millions of 10-second
+// snapshots.
+type KahanSum struct {
+	sum float64
+	c   float64 // running compensation
+}
+
+// Add accumulates v.
+func (k *KahanSum) Add(v float64) {
+	y := v - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Welford tracks a running mean and variance without storing samples,
+// the "stateless" representation of §4.2 of the paper: only running sums
+// are kept on the auctioneer.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a new observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased (n-1) variance.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into this one (parallel Welford / Chan et
+// al.), used when a broker aggregates statistics from several auctioneers.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AlmostEqual reports whether a and b are within tol of each other, treating
+// NaN as never equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,229 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFSymmetricAndPeak(t *testing.T) {
+	if got := NormalPDF(0); !AlmostEqual(got, 1/Sqrt2Pi, 1e-15) {
+		t.Errorf("NormalPDF(0) = %v", got)
+	}
+	for _, x := range []float64{0.3, 1.7, 4.2} {
+		if NormalPDF(x) != NormalPDF(-x) {
+			t.Errorf("PDF not symmetric at %v", x)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.8, 0.8416212335729143},
+		{0.9, 1.2815515655446004},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !AlmostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		// Map raw into (0.0001, 0.9999).
+		p := 0.0001 + 0.9998*(math.Abs(math.Sin(raw)))
+		if p <= 0 || p >= 1 {
+			return true
+		}
+		x := NormalQuantile(p)
+		return AlmostEqual(NormalCDF(x), p, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileTails(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 1e-3, 0.999, 1 - 1e-6} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !AlmostEqual(got, p, 1e-12*math.Max(1, 1/p)) {
+			t.Errorf("tail p=%v: CDF(Q(p))=%v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectEndpoints(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	if r, err := Bisect(f, 1, 5, 1e-9); err != nil || r != 1 {
+		t.Errorf("lo endpoint root: %v, %v", r, err)
+	}
+	if r, err := Bisect(f, -5, 1, 1e-9); err != nil || r != 1 {
+		t.Errorf("hi endpoint root: %v, %v", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9)
+	if err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	var k KahanSum
+	// 1 + 1e-16 added 1e7 times loses the small term with naive summation.
+	k.Add(1)
+	for i := 0; i < 10_000_000; i++ {
+		k.Add(1e-16)
+	}
+	want := 1 + 1e-9
+	if !AlmostEqual(k.Sum(), want, 1e-12) {
+		t.Errorf("Kahan sum = %.17g, want %.17g", k.Sum(), want)
+	}
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Error("Reset did not zero the sum")
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	pv := v / float64(len(xs))
+	sv := v / float64(len(xs)-1)
+	if !AlmostEqual(w.Mean(), mean, 1e-12) {
+		t.Errorf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if !AlmostEqual(w.Variance(), pv, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), pv)
+	}
+	if !AlmostEqual(w.SampleVariance(), sv, 1e-12) {
+		t.Errorf("sample variance = %v, want %v", w.SampleVariance(), sv)
+	}
+	if w.N() != int64(len(xs)) {
+		t.Errorf("n = %d", w.N())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Error("single-sample Welford should have zero variance")
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	f := func(seedA, seedB uint8) bool {
+		a := make([]float64, int(seedA)%17)
+		b := make([]float64, int(seedB)%23)
+		for i := range a {
+			a[i] = float64(i)*1.3 + float64(seedA)
+		}
+		for i := range b {
+			b[i] = float64(i)*-0.7 + float64(seedB)/3
+		}
+		var wa, wb, all Welford
+		for _, x := range a {
+			wa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			wb.Add(x)
+			all.Add(x)
+		}
+		wa.Merge(wb)
+		return wa.N() == all.N() &&
+			AlmostEqual(wa.Mean(), all.Mean(), 1e-9) &&
+			AlmostEqual(wa.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestAlmostEqualNaN(t *testing.T) {
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN should never compare equal")
+	}
+	if AlmostEqual(1, math.NaN(), 1) {
+		t.Error("NaN should never compare equal")
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NormalQuantile(0.9)
+	}
+}

@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"tycoongrid/internal/mathx"
+)
+
+// moments draws n variates and returns their sample mean and variance.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var w mathx.Welford
+	for i := 0; i < n; i++ {
+		w.Add(draw())
+	}
+	return w.Mean(), w.SampleVariance()
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := New(124)
+	same := true
+	a2 := New(123)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(1)
+	child := parent.Split()
+	// Drawing from the child must not change the parent's future stream
+	// relative to a parent that splits but never uses the child.
+	parent2 := New(1)
+	_ = parent2.Split()
+	for i := 0; i < 50; i++ {
+		_ = child.Float64()
+	}
+	for i := 0; i < 50; i++ {
+		if parent.Float64() != parent2.Float64() {
+			t.Fatal("child draws perturbed the parent stream")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 3)
+		if v < 2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	mean, _ := moments(200000, func() float64 { return s.Uniform(2, 3) })
+	if !mathx.AlmostEqual(mean, 2.5, 0.01) {
+		t.Errorf("uniform mean = %v", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(7)
+	mean, v := moments(200000, func() float64 { return s.Normal(0.5, 0.15) })
+	if !mathx.AlmostEqual(mean, 0.5, 0.005) {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if !mathx.AlmostEqual(v, 0.15*0.15, 0.001) {
+		t.Errorf("normal variance = %v, want %v", v, 0.15*0.15)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := New(11)
+	mean, v := moments(300000, func() float64 { return s.Exponential(2) })
+	if !mathx.AlmostEqual(mean, 0.5, 0.01) {
+		t.Errorf("exp mean = %v, want 0.5", mean)
+	}
+	if !mathx.AlmostEqual(v, 0.25, 0.01) {
+		t.Errorf("exp variance = %v, want 0.25", v)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Exponential(2) < 0 {
+			t.Fatal("exponential draw negative")
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := New(13)
+	// Gamma(k=3, theta=2): mean 6, variance 12.
+	mean, v := moments(300000, func() float64 { return s.Gamma(3, 2) })
+	if !mathx.AlmostEqual(mean, 6, 0.05) {
+		t.Errorf("gamma mean = %v, want 6", mean)
+	}
+	if !mathx.AlmostEqual(v, 12, 0.3) {
+		t.Errorf("gamma variance = %v, want 12", v)
+	}
+}
+
+func TestGammaSmallShape(t *testing.T) {
+	s := New(17)
+	// Gamma(k=0.5, theta=1): mean 0.5, variance 0.5.
+	mean, v := moments(300000, func() float64 { return s.Gamma(0.5, 1) })
+	if !mathx.AlmostEqual(mean, 0.5, 0.01) {
+		t.Errorf("gamma(0.5) mean = %v", mean)
+	}
+	if !mathx.AlmostEqual(v, 0.5, 0.02) {
+		t.Errorf("gamma(0.5) variance = %v", v)
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	s := New(19)
+	// Beta(5, 1): mean 5/6, variance 5/(36*7).
+	mean, v := moments(300000, func() float64 { return s.Beta(5, 1) })
+	if !mathx.AlmostEqual(mean, 5.0/6, 0.005) {
+		t.Errorf("beta mean = %v, want %v", mean, 5.0/6)
+	}
+	wantVar := 5.0 / (36 * 7)
+	if !mathx.AlmostEqual(v, wantVar, 0.002) {
+		t.Errorf("beta variance = %v, want %v", v, wantVar)
+	}
+	for i := 0; i < 1000; i++ {
+		b := s.Beta(5, 1)
+		if b < 0 || b > 1 {
+			t.Fatalf("beta out of [0,1]: %v", b)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := New(23)
+	mu, sigma := 0.0, 0.25
+	wantMean := math.Exp(mu + sigma*sigma/2)
+	mean, _ := moments(300000, func() float64 { return s.LogNormal(mu, sigma) })
+	if !mathx.AlmostEqual(mean, wantMean, 0.01) {
+		t.Errorf("lognormal mean = %v, want %v", mean, wantMean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(29)
+	xm, alpha := 1.0, 3.0
+	wantMean := alpha * xm / (alpha - 1)
+	mean, _ := moments(500000, func() float64 { return s.Pareto(xm, alpha) })
+	if !mathx.AlmostEqual(mean, wantMean, 0.03) {
+		t.Errorf("pareto mean = %v, want %v", mean, wantMean)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.Pareto(xm, alpha) < xm {
+			t.Fatal("pareto draw below minimum")
+		}
+	}
+}
+
+func TestTruncatedNormalBounds(t *testing.T) {
+	s := New(31)
+	for i := 0; i < 5000; i++ {
+		v := s.TruncatedNormal(0, 1, -0.5, 0.5)
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("truncated normal out of bounds: %v", v)
+		}
+	}
+	// Degenerate window far from the mean falls back to clamping.
+	v := s.TruncatedNormal(0, 0.0001, 5, 6)
+	if v != 5 {
+		t.Errorf("fallback clamp = %v, want 5", v)
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	s := New(1)
+	cases := []func(){
+		func() { s.Exponential(0) },
+		func() { s.Gamma(0, 1) },
+		func() { s.Gamma(1, 0) },
+		func() { s.Pareto(0, 1) },
+		func() { s.Pareto(1, 0) },
+		func() { s.TruncatedNormal(0, 1, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := New(37)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Error("shuffle lost elements")
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Gamma(5, 1)
+	}
+}
+
+func BenchmarkBeta(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Beta(5, 1)
+	}
+}

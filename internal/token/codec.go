@@ -1,0 +1,104 @@
+package token
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/pki"
+)
+
+// wire is the JSON wire form of a token. Certificates are flattened so the
+// encoding has no private-key material and is stable across versions.
+type wire struct {
+	V          int       `json:"v"`
+	TransferID string    `json:"transfer_id"`
+	From       string    `json:"from"`
+	To         string    `json:"to"`
+	Amount     int64     `json:"amount"`
+	At         time.Time `json:"at"`
+	BankSig    []byte    `json:"bank_sig"`
+
+	GridDN  string `json:"grid_dn"`
+	UserSig []byte `json:"user_sig"`
+
+	CertSubject   string    `json:"cert_subject"`
+	CertPublicKey []byte    `json:"cert_public_key"`
+	CertIssuer    string    `json:"cert_issuer"`
+	CertSerial    uint64    `json:"cert_serial"`
+	CertNotBefore time.Time `json:"cert_not_before"`
+	CertNotAfter  time.Time `json:"cert_not_after"`
+	CertSignature []byte    `json:"cert_signature"`
+}
+
+// Encode serializes a token to a URL-safe base64 string that fits in an xRSL
+// transfertoken attribute.
+func Encode(t Token) (string, error) {
+	w := wire{
+		V:          1,
+		TransferID: t.Receipt.TransferID,
+		From:       string(t.Receipt.From),
+		To:         string(t.Receipt.To),
+		Amount:     int64(t.Receipt.Amount),
+		At:         t.Receipt.At,
+		BankSig:    t.Receipt.BankSig,
+
+		GridDN:  string(t.GridDN),
+		UserSig: t.UserSig,
+
+		CertSubject:   string(t.UserCert.Subject),
+		CertPublicKey: t.UserCert.PublicKey,
+		CertIssuer:    string(t.UserCert.Issuer),
+		CertSerial:    t.UserCert.Serial,
+		CertNotBefore: t.UserCert.NotBefore,
+		CertNotAfter:  t.UserCert.NotAfter,
+		CertSignature: t.UserCert.Signature,
+	}
+	raw, err := json.Marshal(w)
+	if err != nil {
+		return "", fmt.Errorf("token: encode: %w", err)
+	}
+	return base64.RawURLEncoding.EncodeToString(raw), nil
+}
+
+// Decode parses a token produced by Encode. It performs structural checks
+// only; cryptographic verification is the Verifier's job.
+func Decode(s string) (Token, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return Token{}, fmt.Errorf("token: decode base64: %w", err)
+	}
+	var w wire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return Token{}, fmt.Errorf("token: decode json: %w", err)
+	}
+	if w.V != 1 {
+		return Token{}, fmt.Errorf("token: unsupported version %d", w.V)
+	}
+	if w.TransferID == "" || w.GridDN == "" {
+		return Token{}, fmt.Errorf("token: missing required fields")
+	}
+	return Token{
+		Receipt: bank.Receipt{
+			TransferID: w.TransferID,
+			From:       bank.AccountID(w.From),
+			To:         bank.AccountID(w.To),
+			Amount:     bank.Amount(w.Amount),
+			At:         w.At,
+			BankSig:    w.BankSig,
+		},
+		GridDN:  pki.DN(w.GridDN),
+		UserSig: w.UserSig,
+		UserCert: pki.Certificate{
+			Subject:   pki.DN(w.CertSubject),
+			PublicKey: w.CertPublicKey,
+			Issuer:    pki.DN(w.CertIssuer),
+			Serial:    w.CertSerial,
+			NotBefore: w.CertNotBefore,
+			NotAfter:  w.CertNotAfter,
+			Signature: w.CertSignature,
+		},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package token
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	tok := Attach(w.pay(t, 42*1_000_000, "codec1"), w.user)
+	s, err := Encode(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped token must still verify cryptographically.
+	amount, err := w.verifier.Verify(back, w.now())
+	if err != nil {
+		t.Fatalf("decoded token failed verification: %v", err)
+	}
+	if amount != tok.Receipt.Amount {
+		t.Errorf("amount = %v", amount)
+	}
+	if back.GridDN != tok.GridDN {
+		t.Errorf("DN = %q", back.GridDN)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"!!!not-base64!!!",
+		"bm90LWpzb24", // "not-json"
+	}
+	for _, s := range bad {
+		if _, err := Decode(s); err == nil {
+			t.Errorf("Decode(%q): want error", s)
+		}
+	}
+}
+
+func TestDecodeRejectsMissingFields(t *testing.T) {
+	// Valid base64 JSON with no transfer id.
+	if _, err := Decode("eyJ2IjoxfQ"); err == nil { // {"v":1}
+		t.Error("empty token accepted")
+	}
+	if _, err := Decode("eyJ2Ijo5fQ"); err == nil { // {"v":9}
+		t.Error("future version accepted")
+	}
+}
+
+func TestTamperedEncodingFailsVerify(t *testing.T) {
+	w := newWorld(t)
+	tok := Attach(w.pay(t, 1_000_000, "codec2"), w.user)
+	s, err := Encode(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Receipt.Amount *= 10
+	if _, err := w.verifier.Verify(back, w.now()); err == nil {
+		t.Error("tampered decoded token verified")
+	}
+}

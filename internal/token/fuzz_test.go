@@ -1,0 +1,25 @@
+package token
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks the token decoder never panics on arbitrary input — it
+// sits directly on the broker's untrusted-input path (the xRSL
+// transfertoken attribute).
+func FuzzDecode(f *testing.F) {
+	f.Add("")
+	f.Add("eyJ2IjoxfQ")
+	f.Add("!!!not-base64!!!")
+	f.Add("eyJ2IjoxLCJ0cmFuc2Zlcl9pZCI6InQxIiwiZ3JpZF9kbiI6Ii9DTj14In0")
+	f.Fuzz(func(t *testing.T, in string) {
+		tok, err := Decode(in)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode without error.
+		if _, err := Encode(tok); err != nil {
+			t.Fatalf("decoded token fails to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package trace records spot-price histories from the per-host markets and
+// prepares them for the prediction stack: time-indexed series, slicing by
+// window, resampling, normalization to the paper's "$/s per CPU cycles/s"
+// unit, and CSV export for external plotting.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Point is one observation.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Append adds an observation; timestamps must be non-decreasing.
+func (s *Series) Append(at time.Time, v float64) error {
+	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
+		return fmt.Errorf("trace: out-of-order point %v before %v", at, s.points[n-1].At)
+	}
+	s.points = append(s.points, Point{At: at, Value: v})
+	return nil
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Values returns the raw values in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Points returns a copy of all points.
+func (s *Series) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Window returns the values observed in (from, to].
+func (s *Series) Window(from, to time.Time) []float64 {
+	var out []float64
+	for _, p := range s.points {
+		if p.At.After(from) && !p.At.After(to) {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// Scale returns a new series with every value multiplied by f — e.g. to
+// convert credits/second per host into the paper's price per CPU cycle.
+func (s *Series) Scale(f float64) *Series {
+	out := &Series{Name: s.Name, points: make([]Point, len(s.points))}
+	for i, p := range s.points {
+		out.points[i] = Point{At: p.At, Value: p.Value * f}
+	}
+	return out
+}
+
+// Resample aggregates the series into buckets of width step (mean of points
+// per bucket), starting at the first point's time. Empty buckets repeat the
+// previous value, which matches how a spot price holds between reallocations.
+func (s *Series) Resample(step time.Duration) (*Series, error) {
+	if step <= 0 {
+		return nil, errors.New("trace: non-positive resample step")
+	}
+	if len(s.points) == 0 {
+		return &Series{Name: s.Name}, nil
+	}
+	out := &Series{Name: s.Name}
+	start := s.points[0].At
+	end := s.points[len(s.points)-1].At
+	i := 0
+	last := s.points[0].Value
+	for t := start; !t.After(end); t = t.Add(step) {
+		hi := t.Add(step)
+		var sum float64
+		var n int
+		for i < len(s.points) && s.points[i].At.Before(hi) {
+			sum += s.points[i].Value
+			n++
+			i++
+		}
+		v := last
+		if n > 0 {
+			v = sum / float64(n)
+			last = v
+		}
+		out.points = append(out.points, Point{At: t, Value: v})
+	}
+	return out, nil
+}
+
+// WriteCSV emits "unix_seconds,value" rows.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time,%s\n", s.Name); err != nil {
+		return err
+	}
+	for _, p := range s.points {
+		if _, err := fmt.Fprintf(w, "%d,%s\n", p.At.Unix(),
+			strconv.FormatFloat(p.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recorder collects one series per host; attach Record as a market observer.
+// Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends an observation for host. Out-of-order points are dropped
+// (a restarted market may briefly replay).
+func (r *Recorder) Record(host string, at time.Time, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[host]
+	if !ok {
+		s = NewSeries(host)
+		r.series[host] = s
+	}
+	_ = s.Append(at, v)
+}
+
+// Observer returns a function with the market-observer signature bound to
+// one host.
+func (r *Recorder) Observer(host string) func(price float64, at time.Time) {
+	return func(price float64, at time.Time) { r.Record(host, at, price) }
+}
+
+// Series returns the series for host (nil if none).
+func (r *Recorder) Series(host string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[host]
+}
+
+// Hosts returns recorded host names, sorted.
+func (r *Recorder) Hosts() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for h := range r.series {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}

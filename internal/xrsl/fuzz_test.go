@@ -1,0 +1,41 @@
+package xrsl
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// re-serializes to a form it accepts again (idempotent round trip).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sample,
+		"&(executable=x)",
+		"&(a=1)(b=\"two words\")(c=(t1 t2))",
+		"&(a=)",
+		"&((((",
+		"&(a=\"\\\"esc\\\"\")",
+		"&(runtimeenvironment=A B C)(inputfiles=(x y)(z))",
+		"&(a=1)trailing",
+		"& (a = 1) (b = 2)",
+		"&(minhosts=3)(count=9)(walltime=55)(executable=e)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := Parse(in)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := d.String()
+		d2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("serialized form rejected: %q -> %q: %v", in, out, err)
+		}
+		if d2.String() != out {
+			t.Fatalf("round trip not idempotent: %q vs %q", out, d2.String())
+		}
+		// The typed extraction must never panic either.
+		_, _ = d.ToJobRequest()
+	})
+}
