@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The metrics subsystem is lock-light by design; the race target is the gate
+# that keeps it honest (see internal/metrics/stress_test.go).
+race:
+	$(GO) test -race ./...
+
+# Paper-artifact regeneration plus the metrics micro-benchmarks, including
+# the auction-clear overhead bar (overhead_% must stay < 5).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+check: vet race

@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"log"
-	"net/http"
 	"time"
 
 	"tycoongrid/internal/auction"
@@ -87,5 +86,8 @@ func main() {
 	}
 
 	log.Printf("auctioneerd: host %s (%.0f MHz) listening on %s", *host, *capacity, *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc))
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc)); err != nil {
+		log.Fatalf("auctioneerd: %v", err)
+	}
+	log.Print("auctioneerd: shut down cleanly")
 }

@@ -15,7 +15,6 @@ import (
 	"crypto/sha256"
 	"flag"
 	"log"
-	"net/http"
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/httpapi"
@@ -39,7 +38,10 @@ func main() {
 
 	log.Printf("bankd: listening on %s", *addr)
 	log.Printf("bankd: receipt verification key %s", httpapi.EncodeKey(b.PublicKey()))
-	log.Fatal(http.ListenAndServe(*addr, svc))
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("bankd", svc)); err != nil {
+		log.Fatalf("bankd: %v", err)
+	}
+	log.Print("bankd: shut down cleanly")
 }
 
 // identityFor builds a self-contained identity for a standalone daemon: a

@@ -88,7 +88,10 @@ func main() {
 
 	log.Printf("gridmarketd: %d hosts x %d CPUs, %gx time acceleration, listening on %s",
 		*hosts, *cpus, *speedup, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("gridmarketd", mux)); err != nil {
+		log.Fatalf("gridmarketd: %v", err)
+	}
+	log.Print("gridmarketd: shut down cleanly")
 }
 
 // demoAPI mints server-side demo identities; the box serializes access to
@@ -113,7 +116,7 @@ type tokenReq struct {
 func (d *demoAPI) createUser(w http.ResponseWriter, r *http.Request) {
 	var req userReq
 	if err := httpapi.ReadJSON(r, &req); err != nil {
-		httpapi.WriteError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, httpapi.ReadStatus(err), err)
 		return
 	}
 	grant, err := bank.ParseAmount(req.Grant)
@@ -137,7 +140,7 @@ func (d *demoAPI) createUser(w http.ResponseWriter, r *http.Request) {
 func (d *demoAPI) mintToken(w http.ResponseWriter, r *http.Request) {
 	var req tokenReq
 	if err := httpapi.ReadJSON(r, &req); err != nil {
-		httpapi.WriteError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, httpapi.ReadStatus(err), err)
 		return
 	}
 	amount, err := bank.ParseAmount(req.Amount)

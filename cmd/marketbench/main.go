@@ -23,6 +23,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"tycoongrid/internal/metrics"
 )
 
 func main() {
@@ -61,4 +63,11 @@ func main() {
 		fmt.Print(out)
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
 	}
+
+	// Every experiment above drove the instrumented market internals
+	// (auction clears, bank moves, grid ticks), so the aggregate metrics of
+	// the run are a free by-product — print them so the benchmark
+	// trajectory is observable run over run.
+	fmt.Println("=== METRICS SNAPSHOT ===")
+	metrics.Default().Snapshot().WriteText(os.Stdout)
 }

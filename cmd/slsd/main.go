@@ -10,7 +10,6 @@ package main
 import (
 	"flag"
 	"log"
-	"net/http"
 	"time"
 
 	"tycoongrid/internal/httpapi"
@@ -34,5 +33,8 @@ func main() {
 	}()
 
 	log.Printf("slsd: listening on %s (ttl %v)", *addr, *ttl)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewSLSService(reg)))
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("slsd", httpapi.NewSLSService(reg))); err != nil {
+		log.Fatalf("slsd: %v", err)
+	}
+	log.Print("slsd: shut down cleanly")
 }

@@ -11,7 +11,10 @@
 // prediction suite (stateless normal model, AR(k) with smoothing-spline
 // pre-pass, Markowitz portfolios, moving-window statistics), and a
 // discrete-event cluster simulator standing in for the paper's physical
-// testbed.
+// testbed. All of it is observable through internal/metrics, a
+// dependency-free registry whose counters, gauges and latency histograms the
+// daemons expose on GET /metrics (Prometheus text format) next to a
+// GET /healthz liveness probe.
 //
 // Start with README.md for the architecture overview, DESIGN.md for the
 // system inventory and experiment index, and EXPERIMENTS.md for the

@@ -249,8 +249,10 @@ func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64
 	now := a.cfg.Cluster.Engine().Now()
 	amount, err := a.cfg.Verifier.Verify(tok, now)
 	if err != nil {
+		mTokenRejections.Inc()
 		return nil, fmt.Errorf("agent: token rejected: %w", err)
 	}
+	mTokenRedemptions.Inc()
 
 	a.seq++
 	jobID := fmt.Sprintf("job-%04d", a.seq)
@@ -554,8 +556,10 @@ func (a *Agent) Boost(jobID string, tok token.Token) error {
 	now := a.cfg.Cluster.Engine().Now()
 	amount, err := a.cfg.Verifier.Verify(tok, now)
 	if err != nil {
+		mTokenRejections.Inc()
 		return fmt.Errorf("agent: boost token rejected: %w", err)
 	}
+	mTokenRedemptions.Inc()
 	if err := a.cfg.Bank.MoveInternal(a.cfg.Identity, a.cfg.Account, job.SubAccount,
 		amount, bank.EntryTransfer, "boost "+jobID); err != nil {
 		return err

@@ -1,0 +1,13 @@
+package agent
+
+import "tycoongrid/internal/metrics"
+
+// Transfer-token accounting: every funded submission or boost redeems one
+// bank-signed token at the broker, so these two counters are the market's
+// admission record.
+var (
+	mTokenRedemptions = metrics.Default().Counter("token_redemptions_total",
+		"Transfer tokens verified and redeemed for job funding (submits and boosts).")
+	mTokenRejections = metrics.Default().Counter("token_rejections_total",
+		"Transfer tokens rejected at verification (bad signature, expiry, reuse).")
+)

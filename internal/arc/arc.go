@@ -133,6 +133,8 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 		Submitted: eng.Now(),
 	}
 	m.jobs[gj.ID] = gj
+	mJobsSubmitted.Inc()
+	mJobsQueued.Inc()
 
 	// Stage-in: one delay per input file, then hand off to the agent.
 	stageIn := time.Duration(len(jr.InputFiles)) * m.cfg.StageInTime
@@ -146,25 +148,33 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 			gj.State = StateFailed
 			gj.Error = err.Error()
 			gj.Finished = eng.Now()
+			mJobsQueued.Dec()
+			noteTerminal(StateFailed)
 			return
 		}
 		gj.AgentJob = aj
 		gj.State = StateRunning
 		gj.Started = eng.Now()
+		mJobsQueued.Dec()
+		mJobsRunning.Inc()
 		aj.OnComplete = func(*agent.Job) {
 			gj.State = StateFinishing
+			finish := func() {
+				gj.State = StateFinished
+				gj.Finished = eng.Now()
+				mJobsRunning.Dec()
+				noteTerminal(StateFinished)
+			}
 			stageOut := time.Duration(len(jr.OutputFiles)) * m.cfg.StageOutTime
-			if _, err := eng.After(stageOut, func() {
-				gj.State = StateFinished
-				gj.Finished = eng.Now()
-			}); err != nil {
-				gj.State = StateFinished
-				gj.Finished = eng.Now()
+			if _, err := eng.After(stageOut, finish); err != nil {
+				finish()
 			}
 		}
 	}); err != nil {
 		gj.State = StateFailed
 		gj.Error = err.Error()
+		mJobsQueued.Dec()
+		noteTerminal(StateFailed)
 		return gj, err
 	}
 	return gj, nil
@@ -204,8 +214,15 @@ func (m *Manager) Cancel(jobID string) error {
 			return err
 		}
 	}
+	switch gj.State {
+	case StateAccepted, StatePreparing:
+		mJobsQueued.Dec()
+	case StateRunning, StateFinishing:
+		mJobsRunning.Dec()
+	}
 	gj.State = StateKilled
 	gj.Finished = m.cfg.Agent.Engine().Now()
+	noteTerminal(StateKilled)
 	return nil
 }
 

@@ -1,0 +1,29 @@
+package arc
+
+import "tycoongrid/internal/metrics"
+
+// Job-lifecycle instrumentation mirroring the states of the Grid monitor:
+// gauges track the live ACCEPTED/PREPARING queue and the running set,
+// counters record submissions and terminal outcomes.
+var (
+	mJobsSubmitted = metrics.Default().Counter("arc_jobs_submitted_total",
+		"xRSL jobs accepted by the meta-scheduler.")
+	mJobsTerminal = metrics.Default().CounterVec("arc_jobs_terminal_total",
+		"Jobs reaching a terminal state.", "state")
+	mJobsQueued = metrics.Default().Gauge("arc_jobs_queued",
+		"Jobs in ACCEPTED or PREPARING (stage-in).")
+	mJobsRunning = metrics.Default().Gauge("arc_jobs_running",
+		"Jobs in INLRMS:R or FINISHING.")
+)
+
+// noteTerminal records a terminal transition under its monitor label.
+func noteTerminal(s State) {
+	switch s {
+	case StateFinished:
+		mJobsTerminal.With("finished").Inc()
+	case StateFailed:
+		mJobsTerminal.With("failed").Inc()
+	case StateKilled:
+		mJobsTerminal.With("killed").Inc()
+	}
+}

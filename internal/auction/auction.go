@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"tycoongrid/internal/bank"
+	"tycoongrid/internal/metrics"
 )
 
 // DefaultInterval is the paper's reallocation period.
@@ -65,6 +66,8 @@ type Market struct {
 	price     float64 // spot price at last reallocation, credits/second
 	now       time.Time
 	observers []func(price float64, at time.Time)
+
+	priceGauge *metrics.Gauge // this host's auction_clearing_price child
 }
 
 // Config configures a Market.
@@ -95,12 +98,13 @@ func NewMarket(cfg Config) (*Market, error) {
 		reserve = 1e-6 // one microcredit/second
 	}
 	return &Market{
-		hostID:   cfg.HostID,
-		capacity: cfg.CapacityMHz,
-		reserve:  reserve,
-		bids:     make(map[BidderID]*bidState),
-		price:    reserve,
-		now:      cfg.Start,
+		hostID:     cfg.HostID,
+		capacity:   cfg.CapacityMHz,
+		reserve:    reserve,
+		bids:       make(map[BidderID]*bidState),
+		price:      reserve,
+		now:        cfg.Start,
+		priceGauge: mClearingPrice.With(cfg.HostID),
 	}, nil
 }
 
@@ -141,6 +145,8 @@ func (m *Market) PlaceBid(bidder BidderID, budget bank.Amount, deadline time.Tim
 		rate:      budget.Credits() / horizon,
 		active:    true,
 	}
+	mBidsPlaced.Inc()
+	mBidBudget.Observe(budget.Credits())
 	return refund, nil
 }
 
@@ -163,6 +169,7 @@ func (m *Market) Boost(bidder BidderID, extra bank.Amount) error {
 		horizon = DefaultInterval.Seconds()
 	}
 	b.rate = b.remaining.Credits() / horizon
+	mBoosts.Inc()
 	return nil
 }
 
@@ -189,6 +196,7 @@ func (m *Market) CancelBid(bidder BidderID) (bank.Amount, error) {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownBidder, bidder)
 	}
 	delete(m.bids, bidder)
+	mBidsCancelled.Inc()
 	return b.remaining, nil
 }
 
@@ -305,6 +313,7 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 				refunds = append(refunds, Charge{Bidder: id, Amount: b.remaining})
 			}
 			delete(m.bids, id)
+			mBidsExpired.Inc()
 		}
 	}
 
@@ -316,6 +325,9 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 	obs := make([]func(float64, time.Time), len(m.observers))
 	copy(obs, m.observers)
 	m.mu.Unlock()
+
+	mClears.Inc()
+	m.priceGauge.Set(price)
 
 	// Observers run outside the lock so they may call back into the market.
 	for _, fn := range obs {

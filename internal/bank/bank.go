@@ -196,6 +196,7 @@ func (b *Bank) createAccount(id AccountID, owner ed25519.PublicKey, parent Accou
 	}
 	a := &Account{ID: id, Owner: owner, Parent: parent, Created: b.clock.Now()}
 	b.accounts[id] = a
+	mAccounts.Inc()
 	cp := *a
 	return &cp, nil
 }
@@ -238,6 +239,7 @@ func (b *Bank) Deposit(id AccountID, amount Amount, memo string) error {
 	}
 	a.Balance = nb
 	b.appendEntry(EntryDeposit, "", id, amount, memo)
+	mDeposits.Inc()
 	return nil
 }
 
@@ -262,12 +264,15 @@ func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 		return Receipt{}, fmt.Errorf("%w: %q", ErrNoAccount, req.To)
 	}
 	if !pki.Verify(from.Owner, req.SigningBytes(), req.Sig) {
+		mRejectedSigs.Inc()
 		return Receipt{}, ErrBadAuthorization
 	}
 	if b.nonces[req.Nonce] {
+		mNonceReuse.Inc()
 		return Receipt{}, ErrNonceReused
 	}
 	if from.Balance < req.Amount {
+		mInsufficient.Inc()
 		return Receipt{}, fmt.Errorf("%w: %q has %v, needs %v",
 			ErrInsufficientFunds, req.From, from.Balance, req.Amount)
 	}
@@ -279,6 +284,8 @@ func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 	to.Balance = nb
 	b.nonces[req.Nonce] = true
 	b.appendEntry(EntryTransfer, req.From, req.To, req.Amount, "")
+	mTransfers.Inc()
+	mTransferAmount.Observe(req.Amount.Credits())
 
 	r := Receipt{
 		TransferID: req.Nonce,
@@ -313,6 +320,7 @@ func (b *Bank) MoveInternal(owner *pki.Identity, from, to AccountID, amount Amou
 		return ErrBadAuthorization
 	}
 	if f.Balance < amount {
+		mInsufficient.Inc()
 		return fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
 	}
 	nb, err := addChecked(t.Balance, amount)
@@ -322,6 +330,7 @@ func (b *Bank) MoveInternal(owner *pki.Identity, from, to AccountID, amount Amou
 	f.Balance -= amount
 	t.Balance = nb
 	b.appendEntry(kind, from, to, amount, memo)
+	mInternalMoves.Inc()
 	return nil
 }
 

@@ -170,6 +170,7 @@ func (s *Scheduler) Submit(user string, priority int, subJobs []float64, maxNode
 	}
 	s.jobs[j.ID] = j
 	heap.Push(&s.queue, j)
+	mBatchSubmitted.Inc()
 	s.dispatch()
 	return j, nil
 }
@@ -195,6 +196,8 @@ func (s *Scheduler) dispatch() {
 		}
 	}
 	s.compactQueue()
+	mBatchQueueDepth.Set(float64(len(s.queue)))
+	mBatchFreeCPUs.Set(float64(len(s.free)))
 }
 
 func (s *Scheduler) startSubJob(j *Job) {
@@ -210,6 +213,7 @@ func (s *Scheduler) startSubJob(j *Job) {
 		j.completed++
 		j.running--
 		s.free = append(s.free, cpuID)
+		mBatchSubjobsDone.Inc()
 		s.dispatch()
 	}); err != nil {
 		// Scheduling in the past cannot happen with runFor >= 0.

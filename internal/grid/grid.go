@@ -249,6 +249,7 @@ func (c *Cluster) StartTask(hostID string, owner auction.BidderID, envs []string
 		OnDone:    onDone,
 	}
 	h.tasks[t.ID] = t
+	mTasksStarted.Inc()
 	// The owner is consuming CPU on this host now.
 	if err := h.Market.SetActive(owner, true); err != nil && !errors.Is(err, auction.ErrUnknownBidder) {
 		return nil, err
@@ -262,6 +263,7 @@ func (h *Host) RunningTasks() int { return len(h.tasks) }
 // tick advances every market and every task by one interval.
 func (c *Cluster) tick() {
 	now := c.engine.Now()
+	running, busyHosts := 0, 0
 	for _, id := range c.order {
 		h := c.hosts[id]
 		charges, refunds := h.Market.Tick(now)
@@ -279,7 +281,14 @@ func (c *Cluster) tick() {
 		if c.purge > 0 {
 			h.VMs.PurgeIdleOlderThan(now.Add(-c.purge))
 		}
+		if n := len(h.tasks); n > 0 {
+			running += n
+			busyHosts++
+		}
 	}
+	mTicks.Inc()
+	mRunningTasks.Set(float64(running))
+	mHostUtilization.Set(float64(busyHosts) / float64(len(c.order)))
 }
 
 // advanceTasks applies one interval of CPU progress to a host's tasks.
@@ -338,6 +347,7 @@ func (c *Cluster) advanceTasks(h *Host, now time.Time) {
 			finished = append(finished, t)
 		}
 	}
+	mTasksCompleted.Add(uint64(len(finished)))
 	for _, t := range finished {
 		delete(h.tasks, t.ID)
 		if err := h.VMs.Release(t.VMID, now); err != nil {
@@ -378,6 +388,7 @@ func (c *Cluster) CancelTask(hostID, taskID string) error {
 		return fmt.Errorf("grid: unknown task %q on %q", taskID, hostID)
 	}
 	delete(h.tasks, taskID)
+	mTasksCancelled.Inc()
 	if err := h.VMs.Release(t.VMID, c.engine.Now()); err != nil {
 		panic(fmt.Sprintf("grid: cancelling %s: %v", t.VMID, err))
 	}

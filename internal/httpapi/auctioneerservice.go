@@ -135,7 +135,7 @@ func (s *AuctioneerService) status(w http.ResponseWriter, r *http.Request) {
 func (s *AuctioneerService) placeBid(w http.ResponseWriter, r *http.Request) {
 	var req BidRequest
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	budget, err := bank.ParseAmount(req.Budget)
@@ -154,7 +154,7 @@ func (s *AuctioneerService) placeBid(w http.ResponseWriter, r *http.Request) {
 func (s *AuctioneerService) boost(w http.ResponseWriter, r *http.Request) {
 	var req BoostRequest
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	extra, err := bank.ParseAmount(req.Extra)

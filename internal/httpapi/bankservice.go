@@ -122,7 +122,7 @@ func statusFor(err error) int {
 func (s *BankService) createAccount(w http.ResponseWriter, r *http.Request) {
 	var req CreateAccountRequest
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	key, err := decodeKey(req.OwnerKey)
@@ -166,7 +166,7 @@ func (s *BankService) getAccount(w http.ResponseWriter, r *http.Request) {
 func (s *BankService) deposit(w http.ResponseWriter, r *http.Request) {
 	var req DepositRequest
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	amount, err := bank.ParseAmount(req.Amount)
@@ -189,7 +189,7 @@ func (s *BankService) deposit(w http.ResponseWriter, r *http.Request) {
 func (s *BankService) transfer(w http.ResponseWriter, r *http.Request) {
 	var req TransferWire
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	amount, err := bank.ParseAmount(req.Amount)

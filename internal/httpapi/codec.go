@@ -25,6 +25,21 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// MaxBodyBytes caps request and response bodies at 1 MiB.
+const MaxBodyBytes = 1 << 20
+
+// ErrBodyTooLarge reports a request body over MaxBodyBytes; handlers map it
+// to 413 Request Entity Too Large via ReadStatus.
+var ErrBodyTooLarge = errors.New("httpapi: request body exceeds 1 MiB limit")
+
+// ReadStatus maps a ReadJSON error to its HTTP status.
+func ReadStatus(err error) int {
+	if errors.Is(err, ErrBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // WriteJSON emits a 200 response with a JSON body.
 func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -41,11 +56,16 @@ func WriteError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
 }
 
-// ReadJSON decodes a request body with a size cap.
+// ReadJSON decodes a request body with a size cap. Bodies over MaxBodyBytes
+// are rejected with ErrBodyTooLarge rather than silently truncated into a
+// confusing decode error.
 func ReadJSON(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes+1))
 	if err != nil {
 		return fmt.Errorf("httpapi: reading body: %w", err)
+	}
+	if len(body) > MaxBodyBytes {
+		return ErrBodyTooLarge
 	}
 	if len(body) == 0 {
 		return errors.New("httpapi: empty request body")

@@ -168,7 +168,7 @@ func (s *JobService) list(w http.ResponseWriter, r *http.Request) {
 func (s *JobService) boost(w http.ResponseWriter, r *http.Request) {
 	var req BoostWire
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	s.mu.Lock()
@@ -188,7 +188,7 @@ func (s *JobService) boost(w http.ResponseWriter, r *http.Request) {
 func (s *JobService) cancel(w http.ResponseWriter, r *http.Request) {
 	var req CancelWire
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	s.mu.Lock()

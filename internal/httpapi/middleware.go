@@ -1,0 +1,136 @@
+package httpapi
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"tycoongrid/internal/metrics"
+)
+
+// HTTP-layer metric families, shared by every daemon. The route label is
+// the first path segment ("/accounts/alice" -> "/accounts") so cardinality
+// stays bounded no matter what ids clients put in paths.
+var (
+	mRequests = metrics.Default().CounterVec("http_requests_total",
+		"HTTP requests served, by daemon, route, method and status code.",
+		"service", "route", "method", "code")
+	mErrors = metrics.Default().CounterVec("http_request_errors_total",
+		"HTTP requests answered with a 4xx or 5xx status.",
+		"service", "route")
+	mInFlight = metrics.Default().GaugeVec("http_in_flight_requests",
+		"Requests currently being served.", "service")
+	mDuration = metrics.Default().HistogramVec("http_request_duration_seconds",
+		"HTTP request latency.", nil, "service", "route")
+)
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// routeLabel normalizes a request path to its first segment.
+func routeLabel(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return "/"
+	}
+	return "/" + path
+}
+
+// Instrument wraps next so every request is recorded in the default
+// registry: request count by route/method/code, error count, in-flight
+// gauge and a latency histogram.
+func Instrument(service string, next http.Handler) http.Handler {
+	inFlight := mInFlight.With(service)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		inFlight.Dec()
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		mRequests.With(service, route, r.Method, strconv3(rec.status)).Inc()
+		mDuration.With(service, route).Observe(elapsed)
+		if rec.status >= 400 {
+			mErrors.With(service, route).Inc()
+		}
+	})
+}
+
+// strconv3 formats the three-digit HTTP statuses without an allocation-happy
+// strconv.Itoa in the hot path.
+func strconv3(code int) string {
+	if code < 100 || code > 999 {
+		return "000"
+	}
+	var b [3]byte
+	b[0] = byte('0' + code/100)
+	b[1] = byte('0' + code/10%10)
+	b[2] = byte('0' + code%10)
+	return string(b[:])
+}
+
+// MetricsHandler serves reg (nil means the default registry) in the
+// Prometheus text exposition format.
+func MetricsHandler(reg *metrics.Registry) http.Handler {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Service       string  `json:"service"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// HealthzHandler reports liveness for a named daemon.
+func HealthzHandler(service string) http.Handler {
+	start := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, HealthResponse{
+			Status:        "ok",
+			Service:       service,
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	})
+}
+
+// ObservedMux wraps a daemon's application handler with the standard
+// observability surface: GET /metrics (text exposition of the default
+// registry), GET /healthz, and every other path delegated to app. The whole
+// mux is instrumented, scrapes and health probes included, so a freshly
+// booted daemon exposes http_requests_total from its first scrape on.
+func ObservedMux(service string, app http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(nil))
+	mux.Handle("GET /healthz", HealthzHandler(service))
+	mux.Handle("/", app)
+	return Instrument(service, mux)
+}

@@ -1,0 +1,161 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tycoongrid/internal/metrics"
+)
+
+func TestInstrumentRecordsRequests(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			WriteError(w, http.StatusBadRequest, http.ErrBodyNotAllowed)
+			return
+		}
+		WriteJSON(w, map[string]string{"status": "ok"})
+	})
+	srv := httptest.NewServer(ObservedMux("testsvc", app))
+	defer srv.Close()
+
+	before := metrics.Default().CounterValue("http_requests_total", "testsvc", "/accounts", "GET", "200")
+	errBefore := metrics.Default().CounterValue("http_request_errors_total", "testsvc", "/boom")
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/accounts/alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	got := metrics.Default().CounterValue("http_requests_total", "testsvc", "/accounts", "GET", "200")
+	if got-before != 3 {
+		t.Fatalf("http_requests_total for /accounts grew by %d, want 3", got-before)
+	}
+	errGot := metrics.Default().CounterValue("http_request_errors_total", "testsvc", "/boom")
+	if errGot-errBefore != 1 {
+		t.Fatalf("http_request_errors_total for /boom grew by %d, want 1", errGot-errBefore)
+	}
+}
+
+func TestObservedMuxMetricsEndpoint(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, map[string]string{"status": "ok"})
+	})
+	srv := httptest.NewServer(ObservedMux("scrapesvc", app))
+	defer srv.Close()
+
+	// Generate one observed request, then scrape.
+	resp, err := http.Get(srv.URL + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{service="scrapesvc",route="/anything",method="GET",code="200"}`,
+		"# TYPE http_request_duration_seconds histogram",
+		`http_request_duration_seconds_bucket{service="scrapesvc",route="/anything",le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(ObservedMux("healthsvc", http.NotFoundHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Service != "healthsvc" {
+		t.Fatalf("healthz body = %+v", hr)
+	}
+	if hr.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %v", hr.UptimeSeconds)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/":               "/",
+		"":                "/",
+		"/accounts":       "/accounts",
+		"/accounts/alice": "/accounts",
+		"/jobs/a/b/c":     "/jobs",
+	}
+	for in, want := range cases {
+		if got := routeLabel(in); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestReadJSONRejectsOversizedBody is the regression test for the 1 MiB
+// cap: an oversized body must produce ErrBodyTooLarge and a 413 status,
+// not a silent truncation followed by a confusing decode error.
+func TestReadJSONRejectsOversizedBody(t *testing.T) {
+	big := append([]byte(`{"pad":"`), bytes.Repeat([]byte("x"), MaxBodyBytes)...)
+	big = append(big, `"}`...)
+	r := httptest.NewRequest(http.MethodPost, "/x", bytes.NewReader(big))
+	var v map[string]string
+	err := ReadJSON(r, &v)
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if err != ErrBodyTooLarge {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+	if got := ReadStatus(err); got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("ReadStatus = %d, want 413", got)
+	}
+
+	// A body exactly at the cap still decodes.
+	payload := append([]byte(`{"pad":"`), bytes.Repeat([]byte("x"), MaxBodyBytes-10)...)
+	payload = append(payload, `"}`...)
+	if len(payload) > MaxBodyBytes {
+		t.Fatalf("test payload misconstructed: %d bytes", len(payload))
+	}
+	r = httptest.NewRequest(http.MethodPost, "/x", bytes.NewReader(payload))
+	if err := ReadJSON(r, &v); err != nil {
+		t.Fatalf("at-cap body rejected: %v", err)
+	}
+	if got := ReadStatus(nil); got != http.StatusBadRequest {
+		t.Fatalf("ReadStatus(nil-ish) = %d, want 400 default", got)
+	}
+}

@@ -1,0 +1,56 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ShutdownTimeout is how long Serve waits for in-flight requests to drain
+// after SIGINT/SIGTERM before the process exits anyway.
+const ShutdownTimeout = 5 * time.Second
+
+// Serve runs an http.Server on addr and blocks until the listener fails or
+// a SIGINT/SIGTERM arrives, in which case it drains in-flight requests for
+// up to ShutdownTimeout and returns nil on a clean drain. All four market
+// daemons use this instead of log.Fatal(http.ListenAndServe(...)) so a
+// deploy rollover never drops accepted requests.
+func Serve(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case sig := <-sigCh:
+		log.Printf("httpapi: received %v, draining for up to %v", sig, ShutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain deadline hit: close whatever is still open.
+			_ = srv.Close()
+			return err
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,79 @@
+package httpapi
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdown boots Serve on an ephemeral port, confirms it
+// answers, then delivers SIGTERM to the process and expects a clean drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	// Install our own handler first so the signal can never kill the test
+	// process even if it wins the race with Serve's notify registration.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	// Pick a free port, then release it for Serve.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(addr, ObservedMux("testd", http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				WriteJSON(w, map[string]string{"status": "ok"})
+			})))
+	}()
+
+	// Wait for the server to come up.
+	url := fmt.Sprintf("http://%s/healthz", addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(2 * ShutdownTimeout):
+		t.Fatal("Serve did not return after SIGTERM")
+	}
+
+	// The listener must actually be closed.
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestServeListenError checks the pre-signal failure path: a bad address
+// returns the listen error instead of hanging.
+func TestServeListenError(t *testing.T) {
+	err := Serve("256.256.256.256:0", http.NotFoundHandler())
+	if err == nil {
+		t.Fatal("expected listen error")
+	}
+}

@@ -47,7 +47,7 @@ func slsStatus(err error) int {
 func (s *SLSService) register(w http.ResponseWriter, r *http.Request) {
 	var h sls.HostInfo
 	if err := ReadJSON(r, &h); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	if err := s.reg.Register(h); err != nil {
@@ -106,7 +106,7 @@ func (s *SLSService) deregister(w http.ResponseWriter, r *http.Request) {
 func (s *SLSService) heartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
 	if err := ReadJSON(r, &req); err != nil {
-		WriteError(w, http.StatusBadRequest, err)
+		WriteError(w, ReadStatus(err), err)
 		return
 	}
 	if err := s.reg.Heartbeat(req.ID, req.SpotPrice); err != nil {

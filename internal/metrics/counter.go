@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Counters are sharded to keep concurrent increments off a single cache
+// line: each shard is padded to 64 bytes and a goroutine picks its shard
+// from its stack address, so goroutines spread across shards while repeated
+// increments from the same goroutine stay cache-local. Reads sum all
+// shards; counters are write-heavy and read only at scrape time.
+var (
+	counterShards = shardCount()
+	shardMask     = uintptr(counterShards - 1)
+)
+
+func shardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	// Round up to a power of two so the shard pick is a mask, not a mod.
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte // pad to one cache line
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	shards []counterShard
+}
+
+func newCounter() *Counter {
+	return &Counter{shards: make([]counterShard, counterShards)}
+}
+
+// shardIndex derives a shard from the caller's stack address. Goroutine
+// stacks are kilobytes apart, so dropping the in-frame bits and mixing the
+// rest distributes goroutines; within one goroutine the address — and hence
+// the shard — is stable across calls at the same depth.
+func shardIndex() uintptr {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe)) >> 10
+	p ^= p >> 7
+	return p & shardMask
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) {
+	c.shards[shardIndex()].n.Add(delta)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a float64 metric that can go up and down: queue depths,
+// clearing prices, utilization fractions. The zero value is ready to use
+// inside a family; all operations are atomic on the float's bit pattern.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// addFloatBits atomically adds delta to the float64 stored in bits.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}

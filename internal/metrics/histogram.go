@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning 500 µs to
+// 10 s — the range of an HTTP request against an in-memory market service.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// normalizeBounds sorts and deduplicates bucket upper bounds and drops a
+// trailing +Inf (the overflow bucket is implicit).
+func normalizeBounds(bounds []float64) []float64 {
+	out := append([]float64(nil), bounds...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 1) {
+			continue
+		}
+		if i > 0 && len(dedup) > 0 && b == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	if len(dedup) == 0 {
+		panic("metrics: histogram needs at least one finite bucket bound")
+	}
+	return dedup
+}
+
+// Histogram is a fixed-bucket distribution: observations land in the first
+// bucket whose upper bound is >= the value, with an implicit +Inf overflow
+// bucket. Observe is two atomic adds plus a CAS loop on the sum; quantiles
+// are estimated at read time by linear interpolation within the bucket that
+// contains the target rank.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf excluded
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~15) and the scan is branch-
+	// predictable, beating binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloatBits(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one (upper bound, cumulative count) pair of a histogram
+// snapshot; the final bucket's bound is +Inf.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Cumulative uint64  `json:"count"`
+}
+
+// Buckets returns the cumulative bucket counts, ending with the +Inf
+// bucket. The counts are read bucket-by-bucket without a global lock, so a
+// snapshot taken during concurrent observation may be off by in-flight
+// observations — fine for monitoring, by design.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: bound, Cumulative: cum}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the bucket
+// containing the target rank and interpolating linearly inside it. Values
+// in the overflow bucket clamp to the highest finite bound. Returns NaN
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets := h.Buckets()
+	total := buckets[len(buckets)-1].Cumulative
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.Cumulative) < rank {
+			continue
+		}
+		if i == len(buckets)-1 {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower, prev := 0.0, uint64(0)
+		if i > 0 {
+			lower = buckets[i-1].UpperBound
+			prev = buckets[i-1].Cumulative
+		}
+		inBucket := b.Cumulative - prev
+		if inBucket == 0 {
+			return b.UpperBound
+		}
+		frac := (rank - float64(prev)) / float64(inBucket)
+		return lower + (b.UpperBound-lower)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	if got := c.Value(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Same name resolves to the same counter.
+	if r.Counter("requests_total", "Requests served.").Value() != 42 {
+		t.Fatal("re-lookup did not return the same counter")
+	}
+	if got := r.CounterValue("requests_total"); got != 42 {
+		t.Fatalf("CounterValue = %d, want 42", got)
+	}
+	if got := r.CounterValue("missing_total"); got != 0 {
+		t.Fatalf("CounterValue(missing) = %d, want 0", got)
+	}
+}
+
+func TestCounterVecChildrenAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("http_requests_total", "Requests by route.", "route", "code")
+	vec.With("/bids", "200").Add(3)
+	vec.With("/bids", "400").Inc()
+	vec.With("/status", "200").Add(7)
+	if got := r.CounterValue("http_requests_total", "/bids", "200"); got != 3 {
+		t.Fatalf(`/bids 200 = %d, want 3`, got)
+	}
+	if got := r.CounterValue("http_requests_total", "/bids", "400"); got != 1 {
+		t.Fatalf(`/bids 400 = %d, want 1`, got)
+	}
+	if got := r.CounterValue("http_requests_total", "/status", "200"); got != 7 {
+		t.Fatalf(`/status 200 = %d, want 7`, got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("y_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label value count did not panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "Jobs queued.")
+	g.Set(5)
+	g.Inc()
+	g.Add(2.5)
+	g.Dec()
+	if got := g.Value(); got != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 100 observations uniformly inside (0, 0.01].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0001 * float64(i+1))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got, want := h.Sum(), 0.0001*100*101/2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// All observations are in the first bucket: p50 interpolates to its
+	// midpoint, p99 close to its upper bound.
+	if got := h.Quantile(0.50); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("p50 = %v, want 0.005", got)
+	}
+	if got := h.Quantile(1); got != 0.01 {
+		t.Fatalf("p100 = %v, want 0.01", got)
+	}
+
+	// Push 100 observations beyond the last bound: they clamp to it.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 with overflow mass = %v, want clamp to 1", got)
+	}
+	buckets := h.Buckets()
+	if got := buckets[len(buckets)-1].Cumulative; got != 200 {
+		t.Fatalf("+Inf cumulative = %d, want 200", got)
+	}
+	if !math.IsInf(buckets[len(buckets)-1].UpperBound, 1) {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+}
+
+func TestHistogramInterpolationAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	// 50 obs in (0,1], 30 in (1,2], 20 in (2,4].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(3)
+	}
+	// Rank 90 falls 10 observations into the (2,4] bucket of 20: 2 + 4*(10/20)...
+	// frac = (90-80)/20 = 0.5 -> 2 + (4-2)*0.5 = 3.
+	if got := h.Quantile(0.90); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("p90 = %v, want 3", got)
+	}
+	// Rank 50 is exactly the top of the first bucket.
+	if got := h.Quantile(0.50); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	got := normalizeBounds([]float64{5, 1, 1, math.Inf(1), 2})
+	want := []float64{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.CounterVec("a_total", "", "k").With("v2").Add(1)
+	r.CounterVec("a_total", "", "k").With("v1").Add(3)
+	r.Gauge("g", "").Set(1.5)
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 3 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("snapshot shape = %d/%d/%d, want 3/1/1",
+			len(s.Counters), len(s.Gauges), len(s.Histograms))
+	}
+	// Families sorted by name, children by label value.
+	if s.Counters[0].Name != "a_total" || s.Counters[0].Labels["k"] != "v1" || s.Counters[0].Value != 3 {
+		t.Fatalf("first counter = %+v", s.Counters[0])
+	}
+	if s.Counters[2].Name != "b_total" || s.Counters[2].Value != 2 {
+		t.Fatalf("last counter = %+v", s.Counters[2])
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 2 || hs.Sum != 2 {
+		t.Fatalf("histogram sample = %+v", hs)
+	}
+	if math.IsNaN(hs.P50) || math.IsNaN(hs.P99) {
+		t.Fatalf("quantiles not computed: %+v", hs)
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() must return the same registry")
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time programmatic read of a registry, for code
+// that wants values rather than exposition text: the benchmark harness
+// prints one after each run, and tests assert on it.
+type Snapshot struct {
+	Counters   []CounterSample
+	Gauges     []GaugeSample
+	Histograms []HistogramSample
+}
+
+// CounterSample is one counter child's value.
+type CounterSample struct {
+	Name   string
+	Labels map[string]string
+	Value  uint64
+}
+
+// GaugeSample is one gauge child's value.
+type GaugeSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// HistogramSample summarizes one histogram child: totals plus interpolated
+// p50/p95/p99 (NaN when empty).
+type HistogramSample struct {
+	Name   string
+	Labels map[string]string
+	Count  uint64
+	Sum    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Snapshot reads every metric in the registry. Families and children come
+// out sorted (by name, then label values) so output is deterministic.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, f := range r.sortedFamilies() {
+		keys, children := f.sortedChildren()
+		for i, c := range children {
+			labels := labelMap(f.labels, splitLabelKey(keys[i], len(f.labels)))
+			switch m := c.(type) {
+			case *Counter:
+				s.Counters = append(s.Counters, CounterSample{Name: f.name, Labels: labels, Value: m.Value()})
+			case *Gauge:
+				s.Gauges = append(s.Gauges, GaugeSample{Name: f.name, Labels: labels, Value: m.Value()})
+			case *Histogram:
+				s.Histograms = append(s.Histograms, HistogramSample{
+					Name: f.name, Labels: labels,
+					Count: m.Count(), Sum: m.Sum(),
+					P50: m.Quantile(0.50), P95: m.Quantile(0.95), P99: m.Quantile(0.99),
+				})
+			}
+		}
+	}
+	return s
+}
+
+func labelMap(names, values []string) map[string]string {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = values[i]
+	}
+	return m
+}
+
+// Counter returns the value of the named counter child (labels in family
+// order), or 0 when absent — convenient for tests and health summaries.
+func (r *Registry) CounterValue(name string, labelValues ...string) uint64 {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != KindCounter {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	c, ok := f.children[joinKey(labelValues)]
+	if !ok {
+		return 0
+	}
+	return c.(*Counter).Value()
+}
+
+func joinKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	out := values[0]
+	for _, v := range values[1:] {
+		out += labelSep + v
+	}
+	return out
+}
+
+// WriteText renders the snapshot as aligned human-readable lines: counters
+// and gauges as "name{labels} value", histograms with count/sum/percentiles.
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%s %d\n", sampleName(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%s %g\n", sampleName(g.Name, g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%s count=%d sum=%.6g p50=%.4g p95=%.4g p99=%.4g\n",
+			sampleName(h.Name, h.Labels), h.Count, h.Sum, h.P50, h.P95, h.P99)
+	}
+}
+
+func sampleName(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	// Render in sorted-key order for determinism.
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += k + `="` + labels[k] + `"`
+	}
+	return out + "}"
+}
