@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench chaos check
 
 all: build test
 
@@ -23,4 +23,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-check: vet race
+# End-to-end fault-tolerance run: the full market under 20%+ host churn,
+# race-checked. Deterministic — rerun a failure with the same seed.
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
+
+check: vet race chaos

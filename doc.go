@@ -16,6 +16,15 @@
 // daemons expose on GET /metrics (Prometheus text format) next to a
 // GET /healthz liveness probe.
 //
+// A fault-tolerance layer hardens the stack against host and network
+// failure: internal/retry provides context-aware exponential backoff with
+// full jitter plus three-state circuit breakers (shared by every HTTP
+// client in internal/httpapi), and internal/fault provides a deterministic
+// seeded injector of host crashes/recoveries and a chaos http.RoundTripper.
+// The scheduling agent resubmits killed sub-jobs to surviving hosts and
+// refunds unspent escrow on permanent failure; internal/chaos runs the
+// whole market under churn and checks that no money is ever lost.
+//
 // Start with README.md for the architecture overview, DESIGN.md for the
 // system inventory and experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The benchmarks in bench_test.go regenerate every

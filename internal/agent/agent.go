@@ -48,13 +48,16 @@ func (s JobState) String() string {
 	}
 }
 
-// SubJob tracks one chunk's execution.
+// SubJob tracks one chunk's execution. A chunk whose host crashed is marked
+// Failed and its work re-queued; the resubmission appears as a fresh SubJob
+// record, so the history of where each attempt ran is preserved.
 type SubJob struct {
 	Index   int
 	Host    string
 	TaskID  string
 	Started time.Time
 	Done    time.Time
+	Failed  bool // host crashed mid-run; chunk was re-queued
 }
 
 // Latency returns the sub-job's wall-clock duration (zero until done).
@@ -83,6 +86,12 @@ type Job struct {
 	// last sub-job completes (after refunds are issued). The ARC layer uses
 	// it to trigger stage-out.
 	OnComplete func(*Job)
+	// OnFail fires once when the job terminates as failed (every funded
+	// host died, the deadline passed with work outstanding, or it was
+	// cancelled), after the unspent balance has been refunded. FailReason
+	// says why.
+	OnFail     func(*Job)
+	FailReason string
 
 	chunks  []float64 // remaining chunk sizes (MHz-seconds), FIFO
 	envs    []string
@@ -206,6 +215,16 @@ func New(cfg Config) (*Agent, error) {
 	} else {
 		cfg.Cluster.OnCharge = a.onCharge
 	}
+	// Subscribe to host failures the same way, so killed chunks are
+	// resubmitted and freed escrow re-bid on surviving hosts.
+	if prev := cfg.Cluster.OnHostFailure; prev != nil {
+		cfg.Cluster.OnHostFailure = func(f grid.HostFailure) {
+			prev(f)
+			a.onHostFailure(f)
+		}
+	} else {
+		cfg.Cluster.OnHostFailure = a.onHostFailure
+	}
 	return a, nil
 }
 
@@ -308,14 +327,26 @@ func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64
 }
 
 // ensurePump starts the retry ticker that re-attempts queued chunks (e.g.
-// after a host's VM limit rejected them) once per reallocation interval.
+// after a host's VM limit rejected them) once per reallocation interval, and
+// enforces deadlines: a job past its deadline with work outstanding can
+// never finish (its bids have expired, so tasks run at zero share), so it is
+// failed and refunded rather than left running forever.
 func (a *Agent) ensurePump() {
 	if a.pump != nil {
 		return
 	}
 	t, err := a.cfg.Cluster.Engine().Every(a.cfg.Cluster.Interval(), func() {
-		for _, job := range a.jobs {
-			if job.State != StateRunning || len(job.chunks) == 0 {
+		now := a.cfg.Cluster.Engine().Now()
+		for _, id := range a.jobIDs() {
+			job := a.jobs[id]
+			if job.State != StateRunning {
+				continue
+			}
+			if now.After(job.Deadline) && job.done < job.total {
+				a.failJob(job, "deadline exceeded")
+				continue
+			}
+			if len(job.chunks) == 0 {
 				continue
 			}
 			for _, h := range job.Hosts {
@@ -330,6 +361,16 @@ func (a *Agent) ensurePump() {
 		panic(fmt.Sprintf("agent: starting pump: %v", err))
 	}
 	a.pump = t
+}
+
+// jobIDs returns all job ids sorted, for deterministic iteration.
+func (a *Agent) jobIDs() []string {
+	ids := make([]string, 0, len(a.jobs))
+	for id := range a.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // placeBids runs Best Response over the cluster's hosts and enters bids for
@@ -348,6 +389,9 @@ func (a *Agent) placeBids(job *Job, count int) error {
 		h, err := cl.Host(id)
 		if err != nil {
 			return err
+		}
+		if h.Down() {
+			continue // a failed host cannot take bids
 		}
 		hosts = append(hosts, core.Host{
 			ID:         id,
@@ -447,6 +491,132 @@ func (a *Agent) onTaskDone(job *Job, host string, t *grid.Task) {
 	}
 }
 
+// onHostFailure is the broker half of fault tolerance: for every managed job
+// hit by the crash it re-queues the killed chunks and moves the freed bid
+// escrow to a surviving host (the Nimrod-G resubmission duty). Note that no
+// bank money moves here — bid budgets live in the job's sub-account until
+// charged, so cancelled-bid remainders are simply free to re-bid.
+func (a *Agent) onHostFailure(f grid.HostFailure) {
+	freed := make(map[string]bank.Amount)
+	affected := make(map[string]*Job)
+	for _, b := range f.Bids {
+		if job, ok := a.byBidder[b.Bidder]; ok && job.State == StateRunning {
+			freed[job.ID] += b.Amount
+			affected[job.ID] = job
+		}
+	}
+	for _, t := range f.Tasks {
+		job, ok := a.byBidder[t.Owner]
+		if !ok || job.State != StateRunning {
+			continue
+		}
+		affected[job.ID] = job
+		for i := range job.SubJobs {
+			s := &job.SubJobs[i]
+			if s.TaskID == t.ID && s.Done.IsZero() && !s.Failed {
+				s.Failed = true
+				break
+			}
+		}
+		// Progress on the dead host is lost; re-queue the whole chunk (the
+		// paper's jobs are restartable bag-of-tasks chunks).
+		job.chunks = append(job.chunks, t.TotalWork)
+		job.busy[f.HostID] = false
+		mChunksResubmitted.Inc()
+	}
+	ids := make([]string, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a.failover(affected[id], f.HostID, freed[id])
+	}
+}
+
+// failover repairs one job's placement after failedHost died: the host is
+// dropped, the freed escrow is re-bid on the cheapest surviving host, and
+// re-queued chunks are restarted. A job with no surviving hosts is failed
+// with a full refund of its unspent balance.
+func (a *Agent) failover(job *Job, failedHost string, freed bank.Amount) {
+	for i, h := range job.Hosts {
+		if h == failedHost {
+			job.Hosts = append(job.Hosts[:i], job.Hosts[i+1:]...)
+			break
+		}
+	}
+	delete(job.busy, failedHost)
+	if freed > 0 {
+		if host := a.cheapestLiveHost(); host != "" {
+			bidder := auction.BidderID(job.SubAccount)
+			// Boost an existing bid rather than re-placing: PlaceBid REPLACES
+			// a live bid and would hand back its remainder, silently shrinking
+			// the job's working escrow.
+			err := a.cfg.Cluster.Boost(host, bidder, freed)
+			if errors.Is(err, auction.ErrUnknownBidder) {
+				if _, err = a.cfg.Cluster.PlaceBid(host, bidder, freed, job.Deadline); err == nil {
+					job.Hosts = append(job.Hosts, host)
+					sort.Strings(job.Hosts)
+				}
+			}
+			if err == nil {
+				mEscrowFailedOver.Inc()
+			}
+			// On error (deadline passed, host just died) the money simply
+			// stays in the sub-account and is refunded at job end.
+		}
+	}
+	if len(job.Hosts) == 0 {
+		a.failJob(job, "all funded hosts failed")
+		return
+	}
+	for _, h := range job.Hosts {
+		if len(job.chunks) == 0 {
+			break
+		}
+		a.startChunk(job, h)
+	}
+}
+
+// cheapestLiveHost returns the up host with the lowest spot price among this
+// agent's hosts (deterministic tie-break on id), or "" if every host is down.
+func (a *Agent) cheapestLiveHost() string {
+	best := ""
+	bestPrice := 0.0
+	for _, id := range a.hostIDs() {
+		h, err := a.cfg.Cluster.Host(id)
+		if err != nil || h.Down() {
+			continue
+		}
+		if p := h.Market.SpotPrice(); best == "" || p < bestPrice {
+			best, bestPrice = id, p
+		}
+	}
+	return best
+}
+
+// failJob terminates a running job as failed: live tasks are killed, queued
+// chunks dropped, bids cancelled and the unspent balance refunded. OnFail
+// fires last, with FailReason set.
+func (a *Agent) failJob(job *Job, reason string) {
+	if job.State != StateRunning {
+		return
+	}
+	for _, s := range job.SubJobs {
+		if s.Done.IsZero() && !s.Failed {
+			// Already-finished tasks error harmlessly.
+			_ = a.cfg.Cluster.CancelTask(s.Host, s.TaskID)
+		}
+	}
+	job.chunks = nil
+	job.FailReason = reason
+	a.unwind(job) // cancels bids, refunds the sub-account, marks StateFailed
+	mJobsFailed.Inc()
+	if job.OnFail != nil {
+		job.OnFail(job)
+	}
+}
+
 // unwind cancels any placed bids and returns the job's full sub-account
 // balance to the broker — used when a submission is rejected after funding
 // (hold-back policy or a bidding failure).
@@ -527,9 +697,10 @@ func (a *Agent) Cancel(jobID string) error {
 	if job.State != StateRunning {
 		return ErrJobDone
 	}
-	// Kill running tasks.
+	// Kill running tasks; sub-jobs whose host already crashed have no task
+	// left to cancel.
 	for _, s := range job.SubJobs {
-		if s.Done.IsZero() {
+		if s.Done.IsZero() && !s.Failed {
 			if err := a.cfg.Cluster.CancelTask(s.Host, s.TaskID); err != nil {
 				// Already finished in this tick; harmless.
 				continue
@@ -537,7 +708,9 @@ func (a *Agent) Cancel(jobID string) error {
 		}
 	}
 	job.chunks = nil
+	job.FailReason = "cancelled"
 	a.unwind(job) // cancels bids, refunds, marks StateFailed
+	mJobsFailed.Inc()
 	return nil
 }
 
@@ -571,7 +744,7 @@ func (a *Agent) Boost(jobID string, tok token.Token) error {
 	var total bank.Amount
 	for _, h := range job.Hosts {
 		host, err := a.cfg.Cluster.Host(h)
-		if err != nil {
+		if err != nil || host.Down() {
 			continue
 		}
 		r, err := host.Market.Remaining(bidder)
@@ -628,7 +801,7 @@ func (a *Agent) MeanSpotPrice() float64 {
 	n := 0
 	for _, id := range ids {
 		h, err := a.cfg.Cluster.Host(id)
-		if err != nil {
+		if err != nil || h.Down() {
 			continue
 		}
 		sum += h.Market.SpotPrice()

@@ -10,4 +10,10 @@ var (
 		"Transfer tokens verified and redeemed for job funding (submits and boosts).")
 	mTokenRejections = metrics.Default().Counter("token_rejections_total",
 		"Transfer tokens rejected at verification (bad signature, expiry, reuse).")
+	mChunksResubmitted = metrics.Default().Counter("agent_chunks_resubmitted_total",
+		"Sub-job chunks re-queued after their host failed.")
+	mEscrowFailedOver = metrics.Default().Counter("agent_escrow_failed_over_total",
+		"Escrow re-bids onto a surviving host after a host failure.")
+	mJobsFailed = metrics.Default().Counter("agent_jobs_failed_total",
+		"Jobs terminated as failed (all hosts lost, deadline exceeded, or cancelled).")
 )

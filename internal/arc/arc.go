@@ -170,6 +170,19 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 				finish()
 			}
 		}
+		// Permanent failure (every funded host died, or the deadline passed
+		// with work outstanding): the agent has already refunded the unspent
+		// balance; surface the reason in the monitor.
+		aj.OnFail = func(failed *agent.Job) {
+			if gj.State != StateRunning {
+				return
+			}
+			gj.State = StateFailed
+			gj.Error = "agent: " + failed.FailReason
+			gj.Finished = eng.Now()
+			mJobsRunning.Dec()
+			noteTerminal(StateFailed)
+		}
 	}); err != nil {
 		gj.State = StateFailed
 		gj.Error = err.Error()

@@ -1,0 +1,43 @@
+package arc
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHostFailureSurfacesInMonitor(t *testing.T) {
+	// A single-host grid whose host dies mid-run: the agent fails the job,
+	// the manager must transition it to FAILED with the agent's reason and
+	// count it in the monitor.
+	w := newWorld(t, 1)
+	gj, err := w.manager.Submit(w.xrslJob(t, 50, 1, 30, 300), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eng.RunFor(5 * time.Minute) // past stage-in, into execution
+	if gj.State != StateRunning {
+		t.Fatalf("state = %v", gj.State)
+	}
+	cl := w.manager.cfg.Agent.Cluster()
+	if _, err := cl.FailHost("h00"); err != nil {
+		t.Fatal(err)
+	}
+	if gj.State != StateFailed {
+		t.Fatalf("state after host failure = %v, want FAILED", gj.State)
+	}
+	if !strings.Contains(gj.Error, "all funded hosts failed") {
+		t.Errorf("error = %q", gj.Error)
+	}
+	if gj.Finished.IsZero() {
+		t.Error("no finish timestamp on failed job")
+	}
+	snap := w.manager.Monitor()
+	if snap.JobsFailed != 1 || snap.JobsRunning != 0 {
+		t.Errorf("monitor = %+v", snap)
+	}
+	// The job is terminal; arckill on it is an error, not a double refund.
+	if err := w.manager.Cancel(gj.ID); err == nil {
+		t.Error("Cancel of failed job succeeded")
+	}
+}

@@ -1,0 +1,17 @@
+// Package chaos holds the end-to-end fault-tolerance test for the grid
+// market: a full bank + cluster + agent + ARC stack run under continuous
+// host churn from internal/fault. The package has no production code — it
+// exists so the chaos test has a home that `go test ./internal/chaos` (and
+// the `make chaos` target) can address directly.
+//
+// The test is deterministic: host crash/recovery times come from a seeded
+// injector, selectable with `-chaos.seed` (default 1), e.g.
+//
+//	go test -race ./internal/chaos -args -chaos.seed=7
+//
+// Its invariants are the whole point of the fault-tolerance layer: with at
+// least 20% of hosts failing during the run, every submitted job still
+// reaches a terminal state (finished, or failed with its unspent budget
+// refunded), every job sub-account drains to zero, and the bank's total
+// money supply is exactly conserved.
+package chaos

@@ -39,7 +39,11 @@ type Host struct {
 	Market *auction.Market
 	VMs    *vm.Manager
 	tasks  map[string]*Task
+	down   bool
 }
+
+// Down reports whether the host is currently failed.
+func (h *Host) Down() bool { return h.down }
 
 // TotalMHz returns the host's aggregate CPU capacity after virtualization
 // overhead.
@@ -92,14 +96,30 @@ type Cluster struct {
 	// the agent layer uses them to move real bank money.
 	OnCharge func(hostID string, c auction.Charge)
 	OnRefund func(hostID string, c auction.Charge)
+	// OnHostFailure and OnHostRecovery, when set, observe FailHost/
+	// RecoverHost. The broker layer uses them to resubmit killed chunks and
+	// reclaim escrow.
+	OnHostFailure  func(HostFailure)
+	OnHostRecovery func(hostID string)
 
 	ticker *sim.Ticker
+}
+
+// HostFailure describes everything lost when a host crashed: the tasks that
+// were running there (their OnDone callbacks do NOT fire) and the unspent
+// remainder of every live bid, which the market refunds because a dead host
+// can no longer deliver CPU.
+type HostFailure struct {
+	HostID string
+	Tasks  []*Task          // killed tasks, sorted by ID
+	Bids   []auction.Charge // refunded bid remainders, sorted by bidder
 }
 
 // Errors returned by the cluster.
 var (
 	ErrUnknownHost = errors.New("grid: unknown host")
 	ErrBadSpec     = errors.New("grid: invalid host spec")
+	ErrHostDown    = errors.New("grid: host is down")
 )
 
 // New builds a cluster on the given simulation engine.
@@ -207,6 +227,9 @@ func (c *Cluster) PlaceBid(hostID string, bidder auction.BidderID, budget bank.A
 	if err != nil {
 		return 0, err
 	}
+	if h.down {
+		return 0, fmt.Errorf("%w: %q", ErrHostDown, hostID)
+	}
 	return h.Market.PlaceBid(bidder, budget, deadline)
 }
 
@@ -215,6 +238,9 @@ func (c *Cluster) Boost(hostID string, bidder auction.BidderID, extra bank.Amoun
 	h, err := c.Host(hostID)
 	if err != nil {
 		return err
+	}
+	if h.down {
+		return fmt.Errorf("%w: %q", ErrHostDown, hostID)
 	}
 	return h.Market.Boost(bidder, extra)
 }
@@ -231,6 +257,9 @@ func (c *Cluster) StartTask(hostID string, owner auction.BidderID, envs []string
 	h, err := c.Host(hostID)
 	if err != nil {
 		return nil, err
+	}
+	if h.down {
+		return nil, fmt.Errorf("%w: %q", ErrHostDown, hostID)
 	}
 	machine, err := h.VMs.Acquire(string(owner), envs, c.engine.Now())
 	if err != nil {
@@ -263,9 +292,13 @@ func (h *Host) RunningTasks() int { return len(h.tasks) }
 // tick advances every market and every task by one interval.
 func (c *Cluster) tick() {
 	now := c.engine.Now()
-	running, busyHosts := 0, 0
+	running, busyHosts, downHosts := 0, 0, 0
 	for _, id := range c.order {
 		h := c.hosts[id]
+		if h.down {
+			downHosts++
+			continue
+		}
 		charges, refunds := h.Market.Tick(now)
 		if c.OnCharge != nil {
 			for _, ch := range charges {
@@ -289,6 +322,67 @@ func (c *Cluster) tick() {
 	mTicks.Inc()
 	mRunningTasks.Set(float64(running))
 	mHostUtilization.Set(float64(busyHosts) / float64(len(c.order)))
+	mHostsDown.Set(float64(downHosts))
+}
+
+// FailHost crashes a host: every running task is killed (OnDone does not
+// fire), all VM images are lost, and every live bid is cancelled with its
+// unspent remainder collected for refund. The HostFailure handed to
+// OnHostFailure is the broker's one chance to learn what died — the host
+// itself forgets everything.
+func (c *Cluster) FailHost(hostID string) (HostFailure, error) {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return HostFailure{}, err
+	}
+	if h.down {
+		return HostFailure{}, fmt.Errorf("%w: %q", ErrHostDown, hostID)
+	}
+	h.down = true
+	f := HostFailure{HostID: hostID}
+	ids := make([]string, 0, len(h.tasks))
+	for id := range h.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f.Tasks = append(f.Tasks, h.tasks[id])
+	}
+	h.tasks = make(map[string]*Task)
+	h.VMs.PurgeAll()
+	for _, s := range h.Market.Shares() { // sorted by bidder
+		remaining, err := h.Market.CancelBid(s.Bidder)
+		if err != nil || remaining <= 0 {
+			continue
+		}
+		f.Bids = append(f.Bids, auction.Charge{Bidder: s.Bidder, Amount: remaining})
+	}
+	mHostFailures.Inc()
+	mTasksKilled.Add(uint64(len(f.Tasks)))
+	if c.OnHostFailure != nil {
+		c.OnHostFailure(f)
+	}
+	return f, nil
+}
+
+// RecoverHost brings a failed host back empty: no VMs, no bids, no tasks.
+// The market clock is resynced to now so the outage window is never billed
+// against future bids.
+func (c *Cluster) RecoverHost(hostID string) error {
+	h, err := c.Host(hostID)
+	if err != nil {
+		return err
+	}
+	if !h.down {
+		return fmt.Errorf("grid: host %q is not down", hostID)
+	}
+	h.down = false
+	h.Market.Tick(c.engine.Now()) // empty market: just advances its clock
+	mHostRecoveries.Inc()
+	if c.OnHostRecovery != nil {
+		c.OnHostRecovery(hostID)
+	}
+	return nil
 }
 
 // advanceTasks applies one interval of CPU progress to a host's tasks.

@@ -18,4 +18,12 @@ var (
 		"Live tasks across all hosts, sampled at the last tick.")
 	mHostUtilization = metrics.Default().Gauge("grid_host_utilization",
 		"Fraction of hosts running at least one task, sampled at the last tick.")
+	mHostFailures = metrics.Default().Counter("host_failures_total",
+		"Host crashes injected or observed (FailHost calls).")
+	mHostRecoveries = metrics.Default().Counter("host_recoveries_total",
+		"Failed hosts brought back online (RecoverHost calls).")
+	mHostsDown = metrics.Default().Gauge("hosts_down",
+		"Hosts currently failed, sampled at the last tick.")
+	mTasksKilled = metrics.Default().Counter("grid_tasks_killed_total",
+		"Running tasks killed by host failures.")
 )

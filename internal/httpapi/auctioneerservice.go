@@ -218,21 +218,21 @@ func (s *AuctioneerService) windowStats(w http.ResponseWriter, r *http.Request) 
 // AuctioneerClient is the typed client for one host's auctioneer.
 type AuctioneerClient struct {
 	base string
-	http *http.Client
+	call Caller
 }
 
-// NewAuctioneerClient targets base.
+// NewAuctioneerClient targets base. A nil client defaults to one with
+// DefaultClientTimeout. Reads are retried with backoff; PlaceBid, Boost and
+// CancelBid move money without replay protection, so they are single
+// attempts. All calls share one circuit breaker named "auctioneer".
 func NewAuctioneerClient(base string, client *http.Client) *AuctioneerClient {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	return &AuctioneerClient{base: strings.TrimSuffix(base, "/"), http: client}
+	return &AuctioneerClient{base: strings.TrimSuffix(base, "/"), call: newCaller("auctioneer", client)}
 }
 
 // Status fetches the market state.
 func (c *AuctioneerClient) Status() (MarketStatus, error) {
 	var out MarketStatus
-	err := do(c.http, http.MethodGet, c.base+"/status", nil, &out)
+	err := c.call.get(c.base+"/status", &out)
 	return out, err
 }
 
@@ -240,7 +240,7 @@ func (c *AuctioneerClient) Status() (MarketStatus, error) {
 // bid.
 func (c *AuctioneerClient) PlaceBid(bidder string, budget bank.Amount, deadline time.Time) (bank.Amount, error) {
 	var out BidResponse
-	err := do(c.http, http.MethodPost, c.base+"/bids",
+	err := c.call.post(c.base+"/bids",
 		BidRequest{Bidder: bidder, Budget: budget.String(), Deadline: deadline}, &out)
 	if err != nil {
 		return 0, err
@@ -250,14 +250,14 @@ func (c *AuctioneerClient) PlaceBid(bidder string, budget bank.Amount, deadline 
 
 // Boost adds funds to a bid.
 func (c *AuctioneerClient) Boost(bidder string, extra bank.Amount) error {
-	return do(c.http, http.MethodPost, c.base+"/boosts",
+	return c.call.post(c.base+"/boosts",
 		BoostRequest{Bidder: bidder, Extra: extra.String()}, nil)
 }
 
 // CancelBid withdraws a bid, returning the unspent budget.
 func (c *AuctioneerClient) CancelBid(bidder string) (bank.Amount, error) {
 	var out BidResponse
-	if err := do(c.http, http.MethodDelete, c.base+"/bids/"+bidder, nil, &out); err != nil {
+	if err := c.call.del(c.base+"/bids/"+bidder, &out); err != nil {
 		return 0, err
 	}
 	return bank.ParseAmount(out.Refund)
@@ -266,13 +266,13 @@ func (c *AuctioneerClient) CancelBid(bidder string) (bank.Amount, error) {
 // Shares lists current allocations.
 func (c *AuctioneerClient) Shares() ([]ShareWire, error) {
 	var out []ShareWire
-	err := do(c.http, http.MethodGet, c.base+"/shares", nil, &out)
+	err := c.call.get(c.base+"/shares", &out)
 	return out, err
 }
 
 // WindowStats fetches the §4 statistics for one window label.
 func (c *AuctioneerClient) WindowStats(window string) (WindowStats, error) {
 	var out WindowStats
-	err := do(c.http, http.MethodGet, c.base+"/stats/"+window, nil, &out)
+	err := c.call.get(c.base+"/stats/"+window, &out)
 	return out, err
 }

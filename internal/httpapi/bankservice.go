@@ -271,21 +271,21 @@ func (s *BankService) publicKey(w http.ResponseWriter, r *http.Request) {
 // BankClient is the typed client for a BankService.
 type BankClient struct {
 	base string
-	http *http.Client
+	call Caller
 }
 
-// NewBankClient targets base (e.g. "http://localhost:7700").
+// NewBankClient targets base (e.g. "http://localhost:7700"). A nil client
+// defaults to one with DefaultClientTimeout. Reads and the nonce-protected
+// Transfer are retried with backoff; CreateAccount and Deposit are single
+// attempts. All calls share one circuit breaker named "bank".
 func NewBankClient(base string, client *http.Client) *BankClient {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	return &BankClient{base: strings.TrimSuffix(base, "/"), http: client}
+	return &BankClient{base: strings.TrimSuffix(base, "/"), call: newCaller("bank", client)}
 }
 
 // CreateAccount registers an account.
 func (c *BankClient) CreateAccount(id string, owner ed25519.PublicKey, parent string) (AccountInfo, error) {
 	var out AccountInfo
-	err := do(c.http, http.MethodPost, c.base+"/accounts",
+	err := c.call.post(c.base+"/accounts",
 		CreateAccountRequest{ID: id, OwnerKey: EncodeKey(owner), Parent: parent}, &out)
 	return out, err
 }
@@ -293,7 +293,7 @@ func (c *BankClient) CreateAccount(id string, owner ed25519.PublicKey, parent st
 // Account fetches an account's public view.
 func (c *BankClient) Account(id string) (AccountInfo, error) {
 	var out AccountInfo
-	err := do(c.http, http.MethodGet, c.base+"/accounts/"+id, nil, &out)
+	err := c.call.get(c.base+"/accounts/"+id, &out)
 	return out, err
 }
 
@@ -308,7 +308,7 @@ func (c *BankClient) Balance(id string) (bank.Amount, error) {
 
 // Deposit grants funds (operator API).
 func (c *BankClient) Deposit(id string, amount bank.Amount, memo string) error {
-	return do(c.http, http.MethodPost, c.base+"/deposits",
+	return c.call.post(c.base+"/deposits",
 		DepositRequest{ID: id, Amount: amount.String(), Memo: memo}, nil)
 }
 
@@ -324,7 +324,9 @@ func (c *BankClient) Transfer(req bank.TransferRequest) (bank.Receipt, error) {
 		Sig:    base64.RawURLEncoding.EncodeToString(req.Sig),
 	}
 	var out ReceiptWire
-	if err := do(c.http, http.MethodPost, c.base+"/transfers", wirereq, &out); err != nil {
+	// Retried: the bank's nonce spent-store rejects replays, so a transfer
+	// whose response was lost can be re-sent without double-spending.
+	if err := c.call.postIdempotent(c.base+"/transfers", wirereq, &out); err != nil {
 		return bank.Receipt{}, err
 	}
 	return out.ToReceipt()
@@ -333,14 +335,14 @@ func (c *BankClient) Transfer(req bank.TransferRequest) (bank.Receipt, error) {
 // History lists ledger entries touching id.
 func (c *BankClient) History(id string) ([]EntryWire, error) {
 	var out []EntryWire
-	err := do(c.http, http.MethodGet, c.base+"/history/"+id, nil, &out)
+	err := c.call.get(c.base+"/history/"+id, &out)
 	return out, err
 }
 
 // PublicKey fetches the bank's receipt-verification key.
 func (c *BankClient) PublicKey() (ed25519.PublicKey, error) {
 	var out PublicKeyResponse
-	if err := do(c.http, http.MethodGet, c.base+"/publickey", nil, &out); err != nil {
+	if err := c.call.get(c.base+"/publickey", &out); err != nil {
 		return nil, err
 	}
 	return decodeKey(out.Key)

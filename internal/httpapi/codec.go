@@ -13,11 +13,15 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"tycoongrid/internal/retry"
 )
 
 // apiError is the wire form of a failure.
@@ -76,40 +80,139 @@ func ReadJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// do executes a client request and decodes the JSON response into out
-// (which may be nil). Non-2xx responses are turned into errors carrying the
-// server's message.
-func do(client *http.Client, method, url string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("httpapi: encoding request: %w", err)
-		}
-		body = bytes.NewReader(raw)
+// DefaultClientTimeout bounds a whole client exchange (dial, request,
+// response) when a New*Client constructor is handed a nil *http.Client.
+// http.DefaultClient would wait forever on a hung daemon.
+const DefaultClientTimeout = 15 * time.Second
+
+// Caller is the shared fault-tolerant transport of the four typed clients:
+// an HTTP client plus a retry.Policy and a circuit breaker, both labeled
+// with the client's name in /metrics. Idempotent calls go through the retry
+// policy; single-shot calls still get the breaker, so a dead daemon fails
+// fast everywhere.
+type Caller struct {
+	client  *http.Client
+	policy  retry.Policy
+	breaker *retry.Breaker
+}
+
+// newCaller builds a Caller named name (the metrics label). A nil client
+// defaults to one with DefaultClientTimeout.
+func newCaller(name string, client *http.Client) Caller {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultClientTimeout}
 	}
-	req, err := http.NewRequest(method, url, body)
-	if err != nil {
+	return Caller{
+		client:  client,
+		policy:  retry.Policy{Name: name},
+		breaker: retry.NewBreaker(retry.BreakerConfig{Name: name}),
+	}
+}
+
+// attempt runs one exchange under the breaker. A Permanent (4xx) error is
+// recorded as breaker success: the daemon answered, the request was just
+// wrong, and wrong requests must not blow the circuit for everyone else.
+func (c *Caller) attempt(ctx context.Context, method, url, contentType string, body []byte, out any) error {
+	if err := c.breaker.Allow(); err != nil {
 		return err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	err := send(ctx, c.client, method, url, contentType, body, out)
+	if retry.IsPermanent(err) {
+		c.breaker.Record(nil)
+	} else {
+		c.breaker.Record(err)
+	}
+	return err
+}
+
+// retried runs the exchange under the retry policy; the request body is
+// marshaled once and replayed byte-identical on every attempt.
+func (c *Caller) retried(method, url, contentType string, body []byte, out any) error {
+	return c.policy.Do(context.Background(), func(ctx context.Context) error {
+		return c.attempt(ctx, method, url, contentType, body, out)
+	})
+}
+
+// get fetches url with retries — GETs are idempotent by construction.
+func (c *Caller) get(url string, out any) error {
+	return c.retried(http.MethodGet, url, "", nil, out)
+}
+
+// post sends one non-idempotent JSON request: a single attempt under the
+// breaker, because replaying it could repeat a side effect.
+func (c *Caller) post(url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("httpapi: encoding request: %w", err)
+	}
+	return c.attempt(context.Background(), http.MethodPost, url, "application/json", body, out)
+}
+
+// postIdempotent sends a JSON request that is safe to replay — the server
+// deduplicates it (nonce-protected transfers, token-protected boosts) or the
+// operation is a state refresh (heartbeats) — with full retries.
+func (c *Caller) postIdempotent(url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("httpapi: encoding request: %w", err)
+	}
+	return c.retried(http.MethodPost, url, "application/json", body, out)
+}
+
+// del sends a DELETE as a single attempt under the breaker: deletes answer
+// 404 on replay, so a retry after a lost response would mask the outcome.
+func (c *Caller) del(url string, out any) error {
+	return c.attempt(context.Background(), http.MethodDelete, url, "", nil, out)
+}
+
+// rawPost sends a non-JSON body (xRSL submissions) as a single attempt.
+func (c *Caller) rawPost(url, contentType, body string, out any) error {
+	return c.attempt(context.Background(), http.MethodPost, url, contentType, []byte(body), out)
+}
+
+// send executes one HTTP exchange and decodes the JSON response into out
+// (which may be nil). The response body is capped at MaxBodyBytes and always
+// drained before close so the connection returns to the pool. Non-2xx
+// responses become errors carrying the server's message; 4xx ones are marked
+// retry.Permanent since re-sending an invalid request cannot succeed.
+func send(ctx context.Context, client *http.Client, method, url, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes+1))
 	if err != nil {
 		return err
+	}
+	if len(raw) > MaxBodyBytes {
+		return fmt.Errorf("httpapi: %s %s: response body exceeds %d byte limit", method, url, MaxBodyBytes)
 	}
 	if resp.StatusCode/100 != 2 {
 		var ae apiError
 		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("httpapi: %s %s: %s (status %d)", method, url, ae.Error, resp.StatusCode)
+			err = fmt.Errorf("httpapi: %s %s: %s (status %d)", method, url, ae.Error, resp.StatusCode)
+		} else {
+			err = fmt.Errorf("httpapi: %s %s: status %d", method, url, resp.StatusCode)
 		}
-		return fmt.Errorf("httpapi: %s %s: status %d", method, url, resp.StatusCode)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			err = retry.Permanent(err)
+		}
+		return err
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {

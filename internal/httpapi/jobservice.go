@@ -1,7 +1,6 @@
 package httpapi
 
 import (
-	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -215,69 +214,54 @@ func (s *JobService) monitor(w http.ResponseWriter, r *http.Request) {
 // JobClient is the typed client for a JobService.
 type JobClient struct {
 	base string
-	http *http.Client
+	call Caller
 }
 
-// NewJobClient targets base.
+// NewJobClient targets base. A nil client defaults to one with
+// DefaultClientTimeout. Reads and the token-protected Boost (the bank's
+// spent-store rejects a replayed transfer token) are retried with backoff;
+// Submit and Cancel are single attempts. All calls share one circuit
+// breaker named "job".
 func NewJobClient(base string, client *http.Client) *JobClient {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	return &JobClient{base: strings.TrimSuffix(base, "/"), http: client}
+	return &JobClient{base: strings.TrimSuffix(base, "/"), call: newCaller("job", client)}
 }
 
 // Submit posts an xRSL description and returns the accepted job.
 func (c *JobClient) Submit(xrslText string) (JobWire, error) {
-	req, err := http.NewRequest(http.MethodPost, c.base+"/jobs", strings.NewReader(xrslText))
-	if err != nil {
-		return JobWire{}, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return JobWire{}, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return JobWire{}, err
-	}
-	if resp.StatusCode/100 != 2 {
-		return JobWire{}, errors.New("httpapi: submit failed: " + strings.TrimSpace(string(raw)))
-	}
 	var out JobWire
-	if err := json.Unmarshal(raw, &out); err != nil {
-		return JobWire{}, err
-	}
-	return out, nil
+	err := c.call.rawPost(c.base+"/jobs", "text/plain", xrslText, &out)
+	return out, err
 }
 
 // Job fetches one job.
 func (c *JobClient) Job(id string) (JobWire, error) {
 	var out JobWire
-	err := do(c.http, http.MethodGet, c.base+"/jobs?id="+url.QueryEscape(id), nil, &out)
+	err := c.call.get(c.base+"/jobs?id="+url.QueryEscape(id), &out)
 	return out, err
 }
 
 // Jobs lists all jobs.
 func (c *JobClient) Jobs() ([]JobWire, error) {
 	var out []JobWire
-	err := do(c.http, http.MethodGet, c.base+"/jobs", nil, &out)
+	err := c.call.get(c.base+"/jobs", &out)
 	return out, err
 }
 
 // Boost adds funding to a running job.
 func (c *JobClient) Boost(jobID, encodedToken string) error {
-	return do(c.http, http.MethodPost, c.base+"/boosts", BoostWire{JobID: jobID, Token: encodedToken}, nil)
+	// Retried: the token can only be deposited once, so a replayed boost
+	// whose first response was lost is rejected harmlessly by the bank.
+	return c.call.postIdempotent(c.base+"/boosts", BoostWire{JobID: jobID, Token: encodedToken}, nil)
 }
 
 // Cancel kills a job.
 func (c *JobClient) Cancel(jobID string) error {
-	return do(c.http, http.MethodPost, c.base+"/cancels", CancelWire{JobID: jobID}, nil)
+	return c.call.post(c.base+"/cancels", CancelWire{JobID: jobID}, nil)
 }
 
 // Monitor fetches the Grid-monitor snapshot.
 func (c *JobClient) Monitor() (arc.MonitorSnapshot, error) {
 	var out arc.MonitorSnapshot
-	err := do(c.http, http.MethodGet, c.base+"/monitor", nil, &out)
+	err := c.call.get(c.base+"/monitor", &out)
 	return out, err
 }

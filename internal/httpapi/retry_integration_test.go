@@ -1,0 +1,101 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"time"
+
+	"tycoongrid/internal/fault"
+	"tycoongrid/internal/retry"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/sls"
+)
+
+// flakyTransport fails the first n round trips with a transport error, then
+// passes through.
+type flakyTransport struct {
+	n     int32
+	inner http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if atomic.AddInt32(&f.n, -1) >= 0 {
+		return nil, errors.New("connection reset by peer")
+	}
+	return f.inner.RoundTrip(r)
+}
+
+func newSLSFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := sls.New(sim.WallClock{}, sls.WithTTL(time.Hour))
+	srv := httptest.NewServer(NewSLSService(reg))
+	t.Cleanup(srv.Close)
+	client := NewSLSClient(srv.URL, nil)
+	if err := client.Register(sls.HostInfo{ID: "h1", Endpoint: "http://h1:7711", CapacityMHz: 2800, CPUs: 2, MaxVMs: 30}); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	srv := newSLSFixture(t)
+	// Two transport failures, then clean: a 4-attempt GET must succeed.
+	client := NewSLSClient(srv.URL, &http.Client{
+		Transport: &flakyTransport{n: 2, inner: http.DefaultTransport},
+	})
+	h, err := client.Lookup("h1")
+	if err != nil {
+		t.Fatalf("Lookup through flaky transport: %v", err)
+	}
+	if h.ID != "h1" {
+		t.Errorf("host = %+v", h)
+	}
+}
+
+func TestClientSurvivesInjected5xx(t *testing.T) {
+	srv := newSLSFixture(t)
+	// A chaos transport answering ~30% of requests with 503: retries must
+	// push every read through.
+	client := NewSLSClient(srv.URL, &http.Client{
+		Transport: fault.NewTransport(nil, fault.TransportConfig{Seed: 11, ServerErrorRate: 0.3}),
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := client.Lookup("h1"); err != nil {
+			t.Fatalf("Lookup %d through 30%% 5xx: %v", i, err)
+		}
+	}
+}
+
+func TestClientBreakerTripsOnDeadDaemon(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close() // connection refused from here on
+	client := NewSLSClient(url, nil)
+	// Drive enough failures through to trip the default 5-failure breaker.
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = client.Lookup("h1"); err == nil {
+			t.Fatal("Lookup of dead daemon succeeded")
+		}
+	}
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Errorf("err after repeated failures = %v, want breaker open", err)
+	}
+}
+
+func TestClientErrorIsPermanentOn4xx(t *testing.T) {
+	srv := newSLSFixture(t)
+	client := NewSLSClient(srv.URL, nil)
+	_, err := client.Lookup("ghost")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Lookup ghost = %v, want 404", err)
+	}
+	if !retry.IsPermanent(err) {
+		t.Errorf("4xx not marked permanent: %v", err)
+	}
+}

@@ -15,17 +15,36 @@ import (
 // after SIGINT/SIGTERM before the process exits anyway.
 const ShutdownTimeout = 5 * time.Second
 
-// Serve runs an http.Server on addr and blocks until the listener fails or
+// Server-side timeouts. Every market exchange is a small JSON document, so
+// generous single-digit-to-low-double-digit bounds lose no legitimate
+// traffic while denying slow-loris clients an open-ended connection hold.
+const (
+	ServerReadHeaderTimeout = 10 * time.Second
+	ServerReadTimeout       = 30 * time.Second
+	ServerWriteTimeout      = 30 * time.Second
+	ServerIdleTimeout       = 120 * time.Second
+)
+
+// NewServer builds the http.Server all four market daemons run: handler on
+// addr with the full set of slow-client timeouts configured.
+func NewServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: ServerReadHeaderTimeout,
+		ReadTimeout:       ServerReadTimeout,
+		WriteTimeout:      ServerWriteTimeout,
+		IdleTimeout:       ServerIdleTimeout,
+	}
+}
+
+// Serve runs NewServer(addr, handler) and blocks until the listener fails or
 // a SIGINT/SIGTERM arrives, in which case it drains in-flight requests for
 // up to ShutdownTimeout and returns nil on a clean drain. All four market
 // daemons use this instead of log.Fatal(http.ListenAndServe(...)) so a
 // deploy rollover never drops accepted requests.
 func Serve(addr string, handler http.Handler) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := NewServer(addr, handler)
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -119,25 +119,27 @@ func (s *SLSService) heartbeat(w http.ResponseWriter, r *http.Request) {
 // SLSClient is the typed client for an SLSService.
 type SLSClient struct {
 	base string
-	http *http.Client
+	call Caller
 }
 
-// NewSLSClient targets base.
+// NewSLSClient targets base. A nil client defaults to one with
+// DefaultClientTimeout. Reads, Register and Heartbeat (idempotent state
+// refreshes) are retried with backoff; Deregister is a single attempt. All
+// calls share one circuit breaker named "sls".
 func NewSLSClient(base string, client *http.Client) *SLSClient {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	return &SLSClient{base: strings.TrimSuffix(base, "/"), http: client}
+	return &SLSClient{base: strings.TrimSuffix(base, "/"), call: newCaller("sls", client)}
 }
 
 // Register announces a host.
 func (c *SLSClient) Register(h sls.HostInfo) error {
-	return do(c.http, http.MethodPost, c.base+"/hosts", h, nil)
+	// Retried: registration upserts the host record.
+	return c.call.postIdempotent(c.base+"/hosts", h, nil)
 }
 
 // Heartbeat refreshes liveness and (optionally) the advertised spot price.
 func (c *SLSClient) Heartbeat(id string, spotPrice float64) error {
-	return do(c.http, http.MethodPost, c.base+"/heartbeats",
+	// Retried: a heartbeat just refreshes liveness and price.
+	return c.call.postIdempotent(c.base+"/heartbeats",
 		HeartbeatRequest{ID: id, SpotPrice: spotPrice}, nil)
 }
 
@@ -150,18 +152,18 @@ func (c *SLSClient) Select(q sls.Query) ([]sls.HostInfo, error) {
 		u += "&site=" + q.Site
 	}
 	var out []sls.HostInfo
-	err := do(c.http, http.MethodGet, u, nil, &out)
+	err := c.call.get(u, &out)
 	return out, err
 }
 
 // Lookup fetches one host.
 func (c *SLSClient) Lookup(id string) (sls.HostInfo, error) {
 	var out sls.HostInfo
-	err := do(c.http, http.MethodGet, c.base+"/hosts/"+id, nil, &out)
+	err := c.call.get(c.base+"/hosts/"+id, &out)
 	return out, err
 }
 
 // Deregister removes a host.
 func (c *SLSClient) Deregister(id string) error {
-	return do(c.http, http.MethodDelete, c.base+"/hosts/"+id, nil, nil)
+	return c.call.del(c.base+"/hosts/"+id, nil)
 }

@@ -1,0 +1,21 @@
+package retry
+
+import "tycoongrid/internal/metrics"
+
+// Fault-tolerance instrumentation. The metric names are deliberately
+// unprefixed (retries_total rather than retry_retries_total): the label is
+// the policy/breaker name, which already carries the subsystem.
+var (
+	mRetries = metrics.Default().CounterVec("retries_total",
+		"Retry re-attempts executed (attempts beyond the first), by policy name.",
+		"name")
+	mGiveUps = metrics.Default().CounterVec("retry_exhausted_total",
+		"Operations that failed after their final attempt, by policy name.",
+		"name")
+	mBreakerState = metrics.Default().GaugeVec("breaker_state",
+		"Circuit breaker state: 0=closed, 1=open, 2=half-open.", "name")
+	mBreakerAborted = metrics.Default().CounterVec("breaker_aborted_calls_total",
+		"Calls rejected without execution while the breaker was open.", "name")
+	mBreakerTrips = metrics.Default().CounterVec("breaker_trips_total",
+		"Transitions into the open state.", "name")
+)

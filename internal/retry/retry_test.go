@@ -1,0 +1,185 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		policy  Policy
+		attempt int
+		want    time.Duration
+	}{
+		{"defaults attempt 0", Policy{}, 0, 50 * time.Millisecond},
+		{"defaults attempt 1", Policy{}, 1, 100 * time.Millisecond},
+		{"defaults attempt 2", Policy{}, 2, 200 * time.Millisecond},
+		{"defaults capped", Policy{}, 10, 2 * time.Second},
+		{"custom base", Policy{BaseDelay: time.Second}, 0, time.Second},
+		{"custom growth", Policy{BaseDelay: time.Second, Multiplier: 3, MaxDelay: time.Minute}, 2, 9 * time.Second},
+		{"custom cap", Policy{BaseDelay: time.Second, MaxDelay: 5 * time.Second}, 4, 5 * time.Second},
+		{"multiplier below 1 falls back", Policy{BaseDelay: time.Second, Multiplier: 0.5}, 1, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.policy.Backoff(tc.attempt); got != tc.want {
+				t.Errorf("Backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	// Full jitter: for any rand draw r in [0,1), delay = r * Backoff.
+	for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+		p := Policy{BaseDelay: time.Second, Rand: func() float64 { return r }}
+		got := p.jittered(0)
+		want := time.Duration(r * float64(time.Second))
+		if got != want {
+			t.Errorf("jittered(0) with r=%v = %v, want %v", r, got, want)
+		}
+		if got < 0 || got >= time.Second {
+			t.Errorf("jitter %v outside [0, base)", got)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := Policy{
+		Name:      "test",
+		BaseDelay: 100 * time.Millisecond,
+		Rand:      func() float64 { return 0.5 },
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Two sleeps, at 0.5 * (100ms, 200ms).
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v", slept, want)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	p := Policy{
+		Name:        "exhaust",
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Rand:        func() float64 { return 0 },
+	}
+	boom := errors.New("down")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	p := Policy{Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(errors.New("bad request"))
+	})
+	if calls != 1 {
+		t.Errorf("permanent error retried: %d calls", calls)
+	}
+	if !IsPermanent(err) {
+		t.Errorf("permanence lost: %v", err)
+	}
+	if err.Error() != "bad request" {
+		t.Errorf("message mangled: %q", err.Error())
+	}
+}
+
+func TestDoStopsOnBreakerOpen(t *testing.T) {
+	calls := 0
+	p := Policy{Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return fmt.Errorf("wrapped: %w", ErrOpen)
+	})
+	if calls != 1 {
+		t.Errorf("open breaker retried: %d calls", calls)
+	}
+	if !errors.Is(err, ErrOpen) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{
+		Sleep: func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+	}
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("flaky")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d after cancel", calls)
+	}
+}
+
+func TestDoPerAttemptDeadline(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 2,
+		PerAttempt:  time.Millisecond,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Rand:        func() float64 { return 0 },
+	}
+	sawDeadline := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			sawDeadline++
+		}
+		return errors.New("flaky")
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if sawDeadline != 2 {
+		t.Errorf("attempts with deadline = %d, want 2", sawDeadline)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+	if IsPermanent(errors.New("x")) {
+		t.Error("plain error reported permanent")
+	}
+}

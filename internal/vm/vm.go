@@ -267,6 +267,21 @@ func (m *Manager) PurgeIdleOlderThan(cutoff time.Time) int {
 	return n
 }
 
+// PurgeAll destroys every VM regardless of state and returns how many were
+// destroyed. This is the host-crash path: a crashed node loses all VM images
+// at once, running ones included, so the usual Purge state check does not
+// apply.
+func (m *Manager) PurgeAll() int {
+	n := len(m.vms)
+	for _, v := range m.vms {
+		v.State = StatePurged
+	}
+	m.vms = make(map[string]*VM)
+	m.byOwner = make(map[string]map[string]*VM)
+	m.purged += n
+	return n
+}
+
 // Get returns a VM by id.
 func (m *Manager) Get(id string) (*VM, error) {
 	v, ok := m.vms[id]

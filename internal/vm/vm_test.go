@@ -269,3 +269,43 @@ func TestReusePrefersFewestMissingEnvs(t *testing.T) {
 		t.Errorf("picked %s, want the VM that already has R (%s)", c.ID, b.ID)
 	}
 }
+
+func TestPurgeAll(t *testing.T) {
+	m := mgr(t, 5)
+	now := sim.Epoch
+	running, err := m.Acquire("alice", nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := m.Acquire("bob", nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(idle.ID, now); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.PurgeAll(); n != 2 {
+		t.Errorf("PurgeAll = %d, want 2", n)
+	}
+	if m.Live() != 0 {
+		t.Errorf("Live = %d after PurgeAll", m.Live())
+	}
+	if running.State != StatePurged || idle.State != StatePurged {
+		t.Errorf("states = %v, %v, want purged", running.State, idle.State)
+	}
+	if _, err := m.Get(running.ID); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("Get after PurgeAll: %v", err)
+	}
+	if got := m.Stats().Purged; got != 2 {
+		t.Errorf("Stats().Purged = %d, want 2", got)
+	}
+	// The host is empty again: new acquisitions start fresh.
+	fresh, err := m.Acquire("alice", nil, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == running.ID {
+		t.Error("purged VM ID reused for a fresh VM")
+	}
+	_ = fmt.Sprintf("%v", fresh)
+}
