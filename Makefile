@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos check
+.PHONY: all build vet test race bench chaos trace-demo check
 
 all: build test
 
@@ -18,10 +18,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Paper-artifact regeneration plus the metrics micro-benchmarks, including
-# the auction-clear overhead bar (overhead_% must stay < 5).
+# Paper-artifact regeneration plus the metrics and tracing micro-benchmarks,
+# including the auction-clear overhead bars (metrics overhead_% < 5, tracing
+# overhead_% < 2 with sampling off).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Observability smoke: run the quickstart under tracing and assert the job's
+# lifecycle timeline came back non-empty — the "completed" event proves the
+# whole funded -> bid -> placed -> completed chain recorded.
+trace-demo:
+	@out=$$($(GO) run ./examples/quickstart); \
+	echo "$$out" | grep -q 'timeline (trace ' || { echo "trace-demo: no timeline header"; exit 1; }; \
+	echo "$$out" | grep -q 'completed' || { echo "trace-demo: no completed event"; exit 1; }; \
+	echo "trace-demo: timeline OK"
 
 # End-to-end fault-tolerance run: the full market under 20%+ host churn,
 # race-checked. Deterministic — rerun a failure with the same seed.
@@ -29,4 +39,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet race chaos
+check: vet race chaos trace-demo

@@ -11,12 +11,14 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sls"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
@@ -30,7 +32,11 @@ func main() {
 	slsURL := flag.String("sls", "", "SLS base URL to register with (optional)")
 	site := flag.String("site", "", "owning site label")
 	endpoint := flag.String("endpoint", "", "advertised endpoint (default http://<addr>)")
+	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+	tracing.InitSlog("auctioneerd", os.Stderr, slog.LevelInfo)
+	tracing.Default().SetSampleRatio(*traceRatio)
 
 	market, err := auction.NewMarket(auction.Config{
 		HostID:       *host,
@@ -39,7 +45,8 @@ func main() {
 		Start:        time.Now(),
 	})
 	if err != nil {
-		log.Fatalf("auctioneerd: %v", err)
+		slog.Error("auctioneerd: market construction failed", "err", err)
+		os.Exit(1)
 	}
 	svc, err := httpapi.NewAuctioneerService(market, map[string]int{
 		"hour": int(time.Hour / *interval),
@@ -47,7 +54,17 @@ func main() {
 		"week": int(7 * 24 * time.Hour / *interval),
 	})
 	if err != nil {
-		log.Fatalf("auctioneerd: %v", err)
+		slog.Error("auctioneerd: service construction failed", "err", err)
+		os.Exit(1)
+	}
+
+	// Readiness: with an SLS configured, not ready until the directory has
+	// acknowledged us once; standalone markets are ready immediately.
+	var health *httpapi.Health
+	if *slsURL != "" {
+		health = httpapi.NewHealth("auctioneerd", "sls")
+	} else {
+		health = httpapi.NewHealth("auctioneerd")
 	}
 
 	// Reallocation loop.
@@ -55,8 +72,8 @@ func main() {
 		for now := range time.Tick(*interval) {
 			charges, refunds := market.Tick(now)
 			if len(charges)+len(refunds) > 0 {
-				log.Printf("auctioneerd: tick price=%.6g charges=%d refunds=%d",
-					market.SpotPrice(), len(charges), len(refunds))
+				slog.Info("auctioneerd: tick", "price", market.SpotPrice(),
+					"charges", len(charges), "refunds", len(refunds))
 			}
 		}
 	}()
@@ -73,21 +90,32 @@ func main() {
 			CPUs: *cpus, MaxVMs: *maxVMs, Site: *site,
 		}
 		if err := client.Register(info); err != nil {
-			log.Printf("auctioneerd: SLS registration failed: %v", err)
+			slog.Warn("auctioneerd: SLS registration failed", "err", err)
+		} else {
+			health.MarkReady("sls")
 		}
 		go func() {
 			for range time.Tick(*interval * 3) {
 				if err := client.Heartbeat(*host, market.SpotPrice()); err != nil {
-					log.Printf("auctioneerd: heartbeat: %v", err)
-					_ = client.Register(info) // SLS may have restarted
+					slog.Warn("auctioneerd: heartbeat failed", "err", err)
+					if client.Register(info) == nil { // SLS may have restarted
+						health.MarkReady("sls")
+					}
+				} else {
+					health.MarkReady("sls")
 				}
 			}
 		}()
 	}
 
-	log.Printf("auctioneerd: host %s (%.0f MHz) listening on %s", *host, *capacity, *addr)
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc)); err != nil {
-		log.Fatalf("auctioneerd: %v", err)
+	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	if *pprofOn {
+		opts = append(opts, httpapi.WithPprof())
 	}
-	log.Print("auctioneerd: shut down cleanly")
+	slog.Info("auctioneerd: listening", "host", *host, "capacity_mhz", *capacity, "addr", *addr)
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc, opts...), health.StartDrain); err != nil {
+		slog.Error("auctioneerd: serve failed", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("auctioneerd: shut down cleanly")
 }

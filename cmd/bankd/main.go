@@ -14,34 +14,49 @@ package main
 import (
 	"crypto/sha256"
 	"flag"
-	"log"
+	"log/slog"
+	"os"
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
 	addr := flag.String("addr", ":7700", "listen address")
 	dn := flag.String("dn", "/O=Grid/CN=Bank", "bank distinguished name")
 	keyseed := flag.String("keyseed", "", "optional deterministic key seed")
+	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+	tracing.InitSlog("bankd", os.Stderr, slog.LevelInfo)
+	tracing.Default().SetSampleRatio(*traceRatio)
 
 	ca, id, err := identityFor(*dn, *keyseed)
 	if err != nil {
-		log.Fatalf("bankd: %v", err)
+		slog.Error("bankd: identity setup failed", "err", err)
+		os.Exit(1)
 	}
 	_ = ca
 	b := bank.New(id, sim.WallClock{})
 	svc := httpapi.NewBankService(b)
 
-	log.Printf("bankd: listening on %s", *addr)
-	log.Printf("bankd: receipt verification key %s", httpapi.EncodeKey(b.PublicKey()))
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("bankd", svc)); err != nil {
-		log.Fatalf("bankd: %v", err)
+	// The bank has no upstream dependencies; it is ready as soon as it binds.
+	health := httpapi.NewHealth("bankd")
+	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	if *pprofOn {
+		opts = append(opts, httpapi.WithPprof())
 	}
-	log.Print("bankd: shut down cleanly")
+
+	slog.Info("bankd: listening", "addr", *addr,
+		"receipt_key", httpapi.EncodeKey(b.PublicKey()))
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("bankd", svc, opts...), health.StartDrain); err != nil {
+		slog.Error("bankd: serve failed", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("bankd: shut down cleanly")
 }
 
 // identityFor builds a self-contained identity for a standalone daemon: a

@@ -16,21 +16,31 @@
 //	gridclient boost    -auctioneer URL -bidder alice -amount 5
 //	gridclient cancel   -auctioneer URL -bidder alice
 //	gridclient stats    -auctioneer URL -window hour
+//	gridclient submit   -grid URL -xrsl job.xrsl [-wait]
+//	gridclient timeline -grid URL -id JOBID
+//	gridclient trace    -grid URL -id TRACEID
 package main
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 
+	"tycoongrid/internal/arc"
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sls"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
@@ -51,6 +61,12 @@ func main() {
 		err = hostsCmd(os.Args[2:])
 	case "status", "bid", "boost", "cancel", "stats":
 		err = marketCmd(os.Args[1], os.Args[2:])
+	case "submit":
+		err = submitCmd(os.Args[2:])
+	case "timeline":
+		err = timelineCmd(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -61,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gridclient <key|account|deposit|transfer|hosts|status|bid|boost|cancel|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gridclient <key|account|deposit|transfer|hosts|status|bid|boost|cancel|stats|submit|timeline|trace> [flags]
 run "gridclient <cmd> -h" for flags`)
 	os.Exit(2)
 }
@@ -325,4 +341,131 @@ func marketCmd(cmd string, args []string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown market command %q", cmd)
+}
+
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	gridURL := fs.String("grid", "http://localhost:7750", "grid market base URL")
+	xrslPath := fs.String("xrsl", "", "xRSL job description file (- for stdin)")
+	wait := fs.Bool("wait", false, "poll until the job finishes, then print its timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		text []byte
+		err  error
+	)
+	switch *xrslPath {
+	case "":
+		return fmt.Errorf("submit: -xrsl required")
+	case "-":
+		text, err = io.ReadAll(os.Stdin)
+	default:
+		text, err = os.ReadFile(*xrslPath)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Root the whole submission in one client-side trace: the scope makes the
+	// span the parent of every RPC the typed client issues below, and the
+	// traceparent header carries it into the daemon.
+	tr := tracing.Default()
+	span, _ := tr.StartSpan(context.Background(), "gridclient.submit")
+	release := tr.PushScope(span)
+	defer func() { release(); span.End() }()
+
+	c := httpapi.NewJobClient(*gridURL, nil)
+	jw, err := c.Submit(string(text))
+	if err != nil {
+		span.EndErr(err)
+		return err
+	}
+	fmt.Printf("submitted %s (%s)\n", jw.ID, jw.State)
+	fmt.Printf("trace %s\n", span.Context().TraceID)
+	if !*wait {
+		return nil
+	}
+	for {
+		time.Sleep(500 * time.Millisecond)
+		jw, err = c.Job(jw.ID)
+		if err != nil {
+			return err
+		}
+		if jw.State == "FINISHED" || jw.State == "FAILED" || jw.State == "KILLED" {
+			break
+		}
+	}
+	fmt.Printf("job %s: %s\n", jw.ID, jw.State)
+	tl, err := c.Timeline(jw.ID)
+	if err != nil {
+		return err
+	}
+	printTimeline(tl)
+	return nil
+}
+
+func timelineCmd(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	gridURL := fs.String("grid", "http://localhost:7750", "grid market base URL")
+	id := fs.String("id", "", "job id (gsiftp URL)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("timeline: -id required")
+	}
+	tl, err := httpapi.NewJobClient(*gridURL, nil).Timeline(*id)
+	if err != nil {
+		return err
+	}
+	printTimeline(tl)
+	return nil
+}
+
+func printTimeline(tl arc.Timeline) {
+	fmt.Printf("job %s state=%s", tl.JobID, tl.State)
+	if tl.Error != "" {
+		fmt.Printf(" error=%q", tl.Error)
+	}
+	if tl.TraceID != "" {
+		fmt.Printf(" trace=%s", tl.TraceID)
+	}
+	fmt.Println()
+	for _, e := range tl.Events {
+		fmt.Printf("  %s  %-12s", e.Time.Format("2006-01-02T15:04:05.000"), e.Name)
+		for _, a := range e.Attrs {
+			fmt.Printf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Println()
+	}
+	if tl.Dropped > 0 {
+		fmt.Printf("  (%d events dropped)\n", tl.Dropped)
+	}
+}
+
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	gridURL := fs.String("grid", "http://localhost:7750", "daemon base URL")
+	id := fs.String("id", "", "trace id (32 hex chars)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("trace: -id required")
+	}
+	resp, err := http.Get(strings.TrimSuffix(*gridURL, "/") + "/debug/traces/" + url.PathEscape(*id) + "?format=tree")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	return nil
 }

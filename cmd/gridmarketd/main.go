@@ -27,14 +27,16 @@ package main
 import (
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/box"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
@@ -44,10 +46,15 @@ func main() {
 	mhz := flag.Float64("mhz", 2800, "MHz per CPU")
 	interval := flag.Duration("interval", 10*time.Second, "market reallocation interval")
 	speedup := flag.Float64("speedup", 60, "simulated seconds per wall second")
+	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+	tracing.InitSlog("gridmarketd", os.Stderr, slog.LevelInfo)
 	if *speedup <= 0 {
-		log.Fatal("gridmarketd: -speedup must be positive")
+		slog.Error("gridmarketd: -speedup must be positive")
+		os.Exit(1)
 	}
+	tracing.Default().SetSampleRatio(*traceRatio)
 
 	cfg := box.DefaultConfig()
 	cfg.Hosts = *hosts
@@ -57,12 +64,18 @@ func main() {
 	cfg.Start = time.Now()
 	b, err := box.New(cfg)
 	if err != nil {
-		log.Fatalf("gridmarketd: %v", err)
+		slog.Error("gridmarketd: box construction failed", "err", err)
+		os.Exit(1)
 	}
 	jobs, err := httpapi.NewJobService(b.Manager, b.Engine)
 	if err != nil {
-		log.Fatalf("gridmarketd: %v", err)
+		slog.Error("gridmarketd: job service construction failed", "err", err)
+		os.Exit(1)
 	}
+
+	// Readiness gates on the simulation pump having advanced the engine at
+	// least once, so early requests never race the first reallocation.
+	health := httpapi.NewHealth("gridmarketd", "engine")
 
 	// Drive the simulation along the wall clock, accelerated: one wall
 	// second advances the market by -speedup simulated seconds, so a
@@ -73,12 +86,14 @@ func main() {
 		for range time.Tick(200 * time.Millisecond) {
 			elapsed := time.Since(wallStart)
 			jobs.Drive(simStart.Add(time.Duration(float64(elapsed) * *speedup)))
+			health.MarkReady("engine")
 		}
 	}()
 
 	demo := &demoAPI{box: b, jobs: jobs}
 	mux := http.NewServeMux()
 	mux.Handle("/jobs", jobs)
+	mux.Handle("/jobs/", jobs) // subtree: GET /jobs/{id}/timeline
 	mux.Handle("/boosts", jobs)
 	mux.Handle("/cancels", jobs)
 	mux.Handle("/monitor", jobs)
@@ -86,12 +101,17 @@ func main() {
 	mux.HandleFunc("POST /demo/users", demo.createUser)
 	mux.HandleFunc("POST /demo/tokens", demo.mintToken)
 
-	log.Printf("gridmarketd: %d hosts x %d CPUs, %gx time acceleration, listening on %s",
-		*hosts, *cpus, *speedup, *addr)
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("gridmarketd", mux)); err != nil {
-		log.Fatalf("gridmarketd: %v", err)
+	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	if *pprofOn {
+		opts = append(opts, httpapi.WithPprof())
 	}
-	log.Print("gridmarketd: shut down cleanly")
+	slog.Info("gridmarketd: listening",
+		"hosts", *hosts, "cpus", *cpus, "speedup", *speedup, "addr", *addr)
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("gridmarketd", mux, opts...), health.StartDrain); err != nil {
+		slog.Error("gridmarketd: serve failed", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("gridmarketd: shut down cleanly")
 }
 
 // demoAPI mints server-side demo identities; the box serializes access to

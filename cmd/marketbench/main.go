@@ -17,14 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"tycoongrid/internal/metrics"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
@@ -32,7 +34,10 @@ func main() {
 		"experiment: all|table1|table2|figure3|...|figure7|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
 	seed := flag.Int64("seed", 2006, "RNG seed for all experiments")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files (optional)")
+	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
 	flag.Parse()
+	tracing.InitSlog("marketbench", os.Stderr, slog.LevelWarn)
+	tracing.Default().SetSampleRatio(*traceRatio)
 
 	names := []string{
 		"table1", "table2", "figure3", "figure4", "figure5", "figure6", "figure7",
@@ -49,17 +54,23 @@ func main() {
 			}
 		}
 		if !found {
-			log.Fatalf("marketbench: unknown experiment %q", *run)
+			slog.Error("marketbench: unknown experiment", "run", *run)
+			os.Exit(1)
 		}
 	}
 	for _, name := range names {
 		fmt.Printf("=== %s ===\n", strings.ToUpper(name))
 		start := time.Now()
+		span, _ := tracing.Default().StartSpan(context.Background(), "experiment."+name)
+		release := tracing.Default().PushScope(span)
 		out, err := runExperiment(name, *seed, *csvDir)
+		release()
 		if err != nil {
+			span.EndErr(err)
 			fmt.Fprintf(os.Stderr, "marketbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		span.End()
 		fmt.Print(out)
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
 	}
@@ -70,4 +81,11 @@ func main() {
 	// trajectory is observable run over run.
 	fmt.Println("=== METRICS SNAPSHOT ===")
 	metrics.Default().Snapshot().WriteText(os.Stdout)
+
+	// Each experiment ran under its own root span; the slowest one is the
+	// optimization target, so dump its tree as the run's parting diagnostic.
+	if sum, ok := tracing.Default().Slowest(); ok {
+		fmt.Println("=== SLOWEST TRACE ===")
+		fmt.Print(tracing.RenderTree(tracing.Default().Spans(sum.TraceID)))
+	}
 }

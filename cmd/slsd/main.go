@@ -9,32 +9,46 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/sls"
+	"tycoongrid/internal/tracing"
 )
 
 func main() {
 	addr := flag.String("addr", ":7701", "listen address")
 	ttl := flag.Duration("ttl", 60*time.Second, "host liveness TTL")
 	prune := flag.Duration("prune", 5*time.Minute, "expired-entry sweep interval")
+	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+	tracing.InitSlog("slsd", os.Stderr, slog.LevelInfo)
+	tracing.Default().SetSampleRatio(*traceRatio)
 
 	reg := sls.New(sim.WallClock{}, sls.WithTTL(*ttl))
 	go func() {
 		for range time.Tick(*prune) {
 			if n := reg.Prune(); n > 0 {
-				log.Printf("slsd: pruned %d expired hosts", n)
+				slog.Info("slsd: pruned expired hosts", "count", n)
 			}
 		}
 	}()
 
-	log.Printf("slsd: listening on %s (ttl %v)", *addr, *ttl)
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("slsd", httpapi.NewSLSService(reg))); err != nil {
-		log.Fatalf("slsd: %v", err)
+	// The directory is ready as soon as it binds.
+	health := httpapi.NewHealth("slsd")
+	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	if *pprofOn {
+		opts = append(opts, httpapi.WithPprof())
 	}
-	log.Print("slsd: shut down cleanly")
+
+	slog.Info("slsd: listening", "addr", *addr, "ttl", ttl.String())
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("slsd", httpapi.NewSLSService(reg), opts...), health.StartDrain); err != nil {
+		slog.Error("slsd: serve failed", "err", err)
+		os.Exit(1)
+	}
+	slog.Info("slsd: shut down cleanly")
 }

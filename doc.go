@@ -13,8 +13,14 @@
 // discrete-event cluster simulator standing in for the paper's physical
 // testbed. All of it is observable through internal/metrics, a
 // dependency-free registry whose counters, gauges and latency histograms the
-// daemons expose on GET /metrics (Prometheus text format) next to a
-// GET /healthz liveness probe.
+// daemons expose on GET /metrics (Prometheus text format) next to
+// GET /healthz/live and GET /healthz/ready probes, and through
+// internal/tracing, a dependency-free distributed tracer: W3C traceparent
+// propagation stitches every retry attempt, daemon handler and job-lifecycle
+// span of one submission into a single tree, structured slog records carry
+// the active trace and span ids, and each job's span events assemble into a
+// per-job timeline (GET /jobs/{id}/timeline) of every funding move, bid and
+// placement with prices and escrow balances attached.
 //
 // A fault-tolerance layer hardens the stack against host and network
 // failure: internal/retry provides context-aware exponential backoff with

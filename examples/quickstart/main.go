@@ -15,8 +15,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"tycoongrid/internal/agent"
@@ -25,10 +27,12 @@ import (
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/token"
+	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/xrsl"
 )
 
 func main() {
+	tracing.InitSlog("quickstart", os.Stderr, slog.LevelInfo)
 	// --- Assemble the market -------------------------------------------
 	eng := sim.NewEngine()
 	ca, err := pki.NewCA("/O=Grid/CN=DemoCA", pki.WithTimeSource(eng.Now))
@@ -92,7 +96,14 @@ func main() {
 	for i := range chunks {
 		chunks[i] = 10 * 60 * 2800
 	}
+	// Submitting under a pushed span scope makes that span the job's
+	// lifecycle span: every funding move, bid, placement and completion the
+	// market records becomes an event on it — the job's timeline.
+	tr := tracing.Default()
+	root, _ := tr.StartSpan(context.Background(), "quickstart.job")
+	release := tr.PushScope(root)
 	job, err := broker.Submit(tok, jr, chunks)
+	release()
 	check(err)
 	fmt.Printf("job %s submitted for %s; best response funded hosts %v\n",
 		job.ID, job.DN, job.Hosts)
@@ -110,10 +121,21 @@ func main() {
 	earned, _ := ledger.Balance("grid-earnings")
 	fmt.Printf("refund held at broker: %s credits; host earnings: %s credits\n",
 		brokerBal, earned)
+
+	root.End()
+	fmt.Printf("\ntimeline (trace %s):\n", root.Context().TraceID)
+	for _, e := range root.Events() {
+		fmt.Printf("  %s  %-12s", e.Time.Format("15:04:05"), e.Name)
+		for _, a := range e.Attrs {
+			fmt.Printf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Println()
+	}
 }
 
 func check(err error) {
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("quickstart failed", "err", err)
+		os.Exit(1)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/token"
+	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/xrsl"
 )
 
@@ -92,6 +93,13 @@ type Job struct {
 	// says why.
 	OnFail     func(*Job)
 	FailReason string
+
+	// Span is the job's lifecycle span, inherited from the scope active at
+	// Submit (the arc layer's job.lifecycle span). The agent appends its
+	// market decisions — funding, bids, placements, preemptions, failovers —
+	// as events here, with prices and escrow balances attached; nil-safe
+	// when tracing is off.
+	Span *tracing.Span
 
 	chunks  []float64 // remaining chunk sizes (MHz-seconds), FIFO
 	envs    []string
@@ -228,6 +236,26 @@ func New(cfg Config) (*Agent, error) {
 	return a, nil
 }
 
+// event appends a lifecycle event to job's span, stamped with engine time so
+// the timeline reads in simulated time. No-op (one nil check) when the job
+// has no recording span.
+func (a *Agent) event(job *Job, name string, attrs ...tracing.Attr) {
+	if !job.Span.Recording() {
+		return
+	}
+	job.Span.AddEventAt(a.cfg.Cluster.Engine().Now(), name, attrs...)
+}
+
+// escrowAttr snapshots the job sub-account's balance — the escrow backing
+// its outstanding bids — for timeline events.
+func (a *Agent) escrowAttr(job *Job) tracing.Attr {
+	bal, err := a.cfg.Bank.Balance(job.SubAccount)
+	if err != nil {
+		return tracing.String("escrow", "unknown")
+	}
+	return tracing.String("escrow", bal.String())
+}
+
 func (a *Agent) earningsAccount(hostID string) bank.AccountID {
 	if a.cfg.HostOwnerAccount != nil {
 		return a.cfg.HostOwnerAccount(hostID)
@@ -293,11 +321,16 @@ func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64
 		Deadline:   deadline,
 		Submitted:  now,
 		State:      StateRunning,
+		Span:       tracing.Default().Current(),
 		chunks:     append([]float64(nil), chunkWork...),
 		envs:       jr.RuntimeEnvs,
 		busy:       make(map[string]bool),
 		total:      len(chunkWork),
 	}
+	a.event(job, "funded",
+		tracing.String("sub_account", string(sub.ID)),
+		tracing.String("budget", amount.String()),
+		a.escrowAttr(job))
 
 	if err := a.placeBids(job, jr.Count); err != nil {
 		a.unwind(job)
@@ -430,6 +463,10 @@ func (a *Agent) placeBids(job *Job, count int) error {
 		}
 		allocated += budget
 		job.Hosts = append(job.Hosts, al.Host.ID)
+		a.event(job, "bid",
+			tracing.String("host", al.Host.ID),
+			tracing.String("amount", budget.String()),
+			tracing.String("price", fmt.Sprintf("%.6f", al.Host.Price)))
 	}
 	sort.Strings(job.Hosts)
 	if len(job.Hosts) == 0 {
@@ -464,6 +501,17 @@ func (a *Agent) startChunk(job *Job, host string) {
 		TaskID:  t.ID,
 		Started: a.cfg.Cluster.Engine().Now(),
 	})
+	if job.Span.Recording() {
+		price := "unknown"
+		if h, err := a.cfg.Cluster.Host(host); err == nil {
+			price = fmt.Sprintf("%.6f", h.Market.SpotPrice())
+		}
+		a.event(job, "placed",
+			tracing.String("host", host),
+			tracing.String("task", t.ID),
+			tracing.String("sub_job", fmt.Sprintf("%d/%d", idx+1, job.total)),
+			tracing.String("price", price))
+	}
 }
 
 // onTaskDone records completion and schedules the next chunk.
@@ -523,6 +571,10 @@ func (a *Agent) onHostFailure(f grid.HostFailure) {
 		job.chunks = append(job.chunks, t.TotalWork)
 		job.busy[f.HostID] = false
 		mChunksResubmitted.Inc()
+		a.event(job, "preempted",
+			tracing.String("host", f.HostID),
+			tracing.String("task", t.ID),
+			tracing.String("reason", "host failure"))
 	}
 	ids := make([]string, 0, len(affected))
 	for id := range affected {
@@ -561,6 +613,11 @@ func (a *Agent) failover(job *Job, failedHost string, freed bank.Amount) {
 			}
 			if err == nil {
 				mEscrowFailedOver.Inc()
+				a.event(job, "failed-over",
+					tracing.String("from", failedHost),
+					tracing.String("to", host),
+					tracing.String("amount", freed.String()),
+					a.escrowAttr(job))
 			}
 			// On error (deadline passed, host just died) the money simply
 			// stays in the sub-account and is refunded at job end.
@@ -610,7 +667,11 @@ func (a *Agent) failJob(job *Job, reason string) {
 	}
 	job.chunks = nil
 	job.FailReason = reason
+	a.event(job, "failed", tracing.String("reason", reason), a.escrowAttr(job))
+	// Scope the unwind so the bank's refund entry lands on the timeline.
+	release := tracing.Default().PushScope(job.Span)
 	a.unwind(job) // cancels bids, refunds the sub-account, marks StateFailed
+	release()
 	mJobsFailed.Inc()
 	if job.OnFail != nil {
 		job.OnFail(job)
@@ -650,6 +711,9 @@ func (a *Agent) finish(job *Job) {
 	job.State = StateDone
 	// Exact end: the latest sub-job completion (back-dated by the grid).
 	job.endedAt = latestDone(job.SubJobs, a.cfg.Cluster.Engine().Now())
+	// Scope the teardown so the bank's refund entry lands on the timeline.
+	release := tracing.Default().PushScope(job.Span)
+	defer release()
 	bidder := auction.BidderID(job.SubAccount)
 	for _, h := range job.Hosts {
 		host, err := a.cfg.Cluster.Host(h)
@@ -668,6 +732,10 @@ func (a *Agent) finish(job *Job) {
 			panic(fmt.Sprintf("agent: refund %s: %v", job.ID, err))
 		}
 	}
+	a.event(job, "completed",
+		tracing.String("charged", job.Charged.String()),
+		tracing.String("refunded", bal.String()),
+		tracing.String("sub_jobs", fmt.Sprintf("%d/%d", job.done, job.total)))
 	if job.OnComplete != nil {
 		job.OnComplete(job)
 	}
@@ -709,7 +777,10 @@ func (a *Agent) Cancel(jobID string) error {
 	}
 	job.chunks = nil
 	job.FailReason = "cancelled"
+	a.event(job, "cancelled", a.escrowAttr(job))
+	release := tracing.Default().PushScope(job.Span)
 	a.unwind(job) // cancels bids, refunds, marks StateFailed
+	release()
 	mJobsFailed.Inc()
 	return nil
 }
@@ -738,6 +809,10 @@ func (a *Agent) Boost(jobID string, tok token.Token) error {
 		return err
 	}
 	job.Budget += amount
+	a.event(job, "boosted",
+		tracing.String("amount", amount.String()),
+		tracing.String("budget", job.Budget.String()),
+		a.escrowAttr(job))
 	bidder := auction.BidderID(job.SubAccount)
 	// Proportional to remaining bid budgets.
 	remaining := make(map[string]bank.Amount, len(job.Hosts))

@@ -7,13 +7,16 @@
 package arc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"tycoongrid/internal/agent"
 	"tycoongrid/internal/token"
+	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/workload"
 	"tycoongrid/internal/xrsl"
 )
@@ -42,6 +45,11 @@ type GridJob struct {
 	Started   time.Time // execution start (after stage-in)
 	Finished  time.Time
 	AgentJob  *agent.Job
+	// Span is the job's lifecycle span: every layer of the market appends
+	// timestamped events to it (submitted, parsed, funded, bid, placed,
+	// preempted, failed-over, completed, ...), and the /jobs/{id}/timeline
+	// endpoint serves them back as the job's audit trail.
+	Span *tracing.Span
 }
 
 // Config wires a Manager.
@@ -105,44 +113,72 @@ func DefaultChunkWork(jr *xrsl.JobRequest) []float64 {
 // passes PREPARING (stage-in) before execution and FINISHING (stage-out)
 // after; both are modeled as fixed per-file delays on the simulation clock.
 func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error) {
+	tr := tracing.Default()
+	eng := m.cfg.Agent.Engine()
+	// The lifecycle span parents under whatever is active — the HTTP server
+	// span of a POST /jobs, or a CLI's root span — and stays open until the
+	// job reaches a terminal state. Events are stamped with engine time so
+	// the timeline reads in simulated time.
+	span, _ := tr.StartSpan(context.Background(), "job.lifecycle")
+	release := tr.PushScope(span)
+	defer release()
+	span.AddEventAt(eng.Now(), "submitted",
+		tracing.String("xrsl_bytes", strconv.Itoa(len(xrslText))))
+	reject := func(err error) (*GridJob, error) {
+		span.AddEventAt(eng.Now(), "failed", tracing.String("reason", err.Error()))
+		span.EndErr(err)
+		return nil, err
+	}
+
 	desc, err := xrsl.Parse(xrslText)
 	if err != nil {
-		return nil, err
+		return reject(err)
 	}
 	jr, err := desc.ToJobRequest()
 	if err != nil {
-		return nil, err
+		return reject(err)
 	}
 	if jr.TransferToken == "" {
-		return nil, ErrNoToken
+		return reject(ErrNoToken)
 	}
 	tok, err := token.Decode(jr.TransferToken)
 	if err != nil {
-		return nil, fmt.Errorf("arc: bad transfer token: %w", err)
+		return reject(fmt.Errorf("arc: bad transfer token: %w", err))
 	}
 	if chunkWork == nil {
 		chunkWork = m.cfg.ChunkWork(jr)
 	}
 
-	eng := m.cfg.Agent.Engine()
 	m.seq++
 	gj := &GridJob{
 		ID:        fmt.Sprintf("gsiftp://%s/jobs/%d", m.cfg.ClusterName, m.seq),
 		Request:   jr,
 		State:     StateAccepted,
 		Submitted: eng.Now(),
+		Span:      span,
 	}
 	m.jobs[gj.ID] = gj
 	mJobsSubmitted.Inc()
 	mJobsQueued.Inc()
+	span.SetAttr(tracing.String("job_id", gj.ID))
+	span.AddEventAt(eng.Now(), "parsed",
+		tracing.String("sub_jobs", strconv.Itoa(len(chunkWork))),
+		tracing.String("deadline", jr.Deadline().String()))
 
 	// Stage-in: one delay per input file, then hand off to the agent.
 	stageIn := time.Duration(len(jr.InputFiles)) * m.cfg.StageInTime
 	gj.State = StatePreparing
+	span.AddEventAt(eng.Now(), "stage-in",
+		tracing.String("files", strconv.Itoa(len(jr.InputFiles))),
+		tracing.String("duration", stageIn.String()))
 	if _, err := eng.After(stageIn, func() {
 		if gj.State != StatePreparing {
 			return // killed (or otherwise terminal) during stage-in
 		}
+		// Re-enter the job's scope: the agent, auction and bank below all
+		// append their events to the current scope span.
+		rel := tr.PushScope(span)
+		defer rel()
 		aj, err := m.cfg.Agent.Submit(tok, jr, chunkWork)
 		if err != nil {
 			gj.State = StateFailed
@@ -150,6 +186,8 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 			gj.Finished = eng.Now()
 			mJobsQueued.Dec()
 			noteTerminal(StateFailed)
+			span.AddEventAt(eng.Now(), "failed", tracing.String("reason", err.Error()))
+			span.EndErr(err)
 			return
 		}
 		gj.AgentJob = aj
@@ -159,11 +197,17 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 		mJobsRunning.Inc()
 		aj.OnComplete = func(*agent.Job) {
 			gj.State = StateFinishing
+			span.AddEventAt(eng.Now(), "stage-out",
+				tracing.String("files", strconv.Itoa(len(jr.OutputFiles))))
 			finish := func() {
 				gj.State = StateFinished
 				gj.Finished = eng.Now()
 				mJobsRunning.Dec()
 				noteTerminal(StateFinished)
+				span.AddEventAt(eng.Now(), "finished",
+					tracing.String("charged", aj.Charged.String()),
+					tracing.String("wall", gj.Finished.Sub(gj.Submitted).String()))
+				span.End()
 			}
 			stageOut := time.Duration(len(jr.OutputFiles)) * m.cfg.StageOutTime
 			if _, err := eng.After(stageOut, finish); err != nil {
@@ -182,12 +226,16 @@ func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error)
 			gj.Finished = eng.Now()
 			mJobsRunning.Dec()
 			noteTerminal(StateFailed)
+			span.AddEventAt(eng.Now(), "failed", tracing.String("reason", gj.Error))
+			span.EndErr(errors.New(gj.Error))
 		}
 	}); err != nil {
 		gj.State = StateFailed
 		gj.Error = err.Error()
 		mJobsQueued.Dec()
 		noteTerminal(StateFailed)
+		span.AddEventAt(eng.Now(), "failed", tracing.String("reason", err.Error()))
+		span.EndErr(err)
 		return gj, err
 	}
 	return gj, nil
@@ -222,8 +270,12 @@ func (m *Manager) Cancel(jobID string) error {
 	}
 	if gj.AgentJob != nil {
 		gj.AgentJob.OnComplete = nil // suppress the stage-out path
-		if err := m.cfg.Agent.Cancel(gj.AgentJob.ID); err != nil &&
-			!errors.Is(err, agent.ErrJobDone) {
+		// Scope the kill so the agent's refund and bid-cancel events land on
+		// this job's timeline.
+		release := tracing.Default().PushScope(gj.Span)
+		err := m.cfg.Agent.Cancel(gj.AgentJob.ID)
+		release()
+		if err != nil && !errors.Is(err, agent.ErrJobDone) {
 			return err
 		}
 	}
@@ -236,7 +288,51 @@ func (m *Manager) Cancel(jobID string) error {
 	gj.State = StateKilled
 	gj.Finished = m.cfg.Agent.Engine().Now()
 	noteTerminal(StateKilled)
+	gj.Span.AddEventAt(gj.Finished, "killed")
+	gj.Span.End()
 	return nil
+}
+
+// TimelineEvent is one step of a job's lifecycle timeline.
+type TimelineEvent struct {
+	Time  time.Time      `json:"time"`
+	Name  string         `json:"name"`
+	Attrs []tracing.Attr `json:"attrs,omitempty"`
+}
+
+// Timeline is the ordered audit trail of one job, assembled from its
+// lifecycle span's events — the paper's "why did this job get that price"
+// record: every state change, funding move, bid and placement with prices
+// and escrow balances attached.
+type Timeline struct {
+	JobID   string          `json:"job_id"`
+	State   State           `json:"state"`
+	Error   string          `json:"error,omitempty"`
+	TraceID string          `json:"trace_id,omitempty"`
+	SpanID  string          `json:"span_id,omitempty"`
+	Dropped int             `json:"dropped_events,omitempty"`
+	Events  []TimelineEvent `json:"events"`
+}
+
+// Timeline returns the lifecycle timeline of a job, events in time order.
+func (m *Manager) Timeline(id string) (Timeline, error) {
+	gj, ok := m.jobs[id]
+	if !ok {
+		return Timeline{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	tl := Timeline{JobID: gj.ID, State: gj.State, Error: gj.Error}
+	if sc := gj.Span.Context(); sc.Valid() {
+		tl.TraceID = sc.TraceID.String()
+		tl.SpanID = sc.SpanID.String()
+	}
+	tl.Dropped = gj.Span.Dropped()
+	evs := gj.Span.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time.Before(evs[j].Time) })
+	tl.Events = make([]TimelineEvent, 0, len(evs))
+	for _, e := range evs {
+		tl.Events = append(tl.Events, TimelineEvent{Time: e.Time, Name: e.Name, Attrs: e.Attrs})
+	}
+	return tl, nil
 }
 
 // Job returns a job by id.

@@ -25,6 +25,7 @@ import (
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/metrics"
+	"tycoongrid/internal/tracing"
 )
 
 // DefaultInterval is the paper's reallocation period.
@@ -147,6 +148,14 @@ func (m *Market) PlaceBid(bidder BidderID, budget bank.Amount, deadline time.Tim
 	}
 	mBidsPlaced.Inc()
 	mBidBudget.Observe(budget.Credits())
+	// Auditable auction trail: when a job scope is active (the agent bidding
+	// on this job's behalf), record the auctioneer's view of the bid.
+	if s := tracing.Default().Current(); s.Recording() {
+		s.AddEventAt(m.now, "auction.bid",
+			tracing.String("host", m.hostID),
+			tracing.String("bidder", string(bidder)),
+			tracing.String("rate", fmt.Sprintf("%.6f", m.bids[bidder].rate)))
+	}
 	return refund, nil
 }
 
@@ -328,6 +337,14 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 
 	mClears.Inc()
 	m.priceGauge.Set(price)
+	// Hot path: with no active scope (the common case — ticks run from the
+	// engine pump) this is a single atomic load and a nil check.
+	if s := tracing.Default().Current(); s.Recording() {
+		s.AddEventAt(now, "auction.clear",
+			tracing.String("host", m.hostID),
+			tracing.String("price", fmt.Sprintf("%.6f", price)),
+			tracing.String("charges", fmt.Sprintf("%d", len(charges))))
+	}
 
 	// Observers run outside the lock so they may call back into the market.
 	for _, fn := range obs {

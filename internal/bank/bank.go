@@ -11,6 +11,7 @@ import (
 
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
 )
 
 // Errors returned by Bank operations.
@@ -346,6 +347,15 @@ func (b *Bank) appendEntry(kind EntryKind, from, to AccountID, amount Amount, me
 		Seq: b.seq, Kind: kind, From: from, To: to,
 		Amount: amount, Memo: memo, At: b.clock.Now(),
 	})
+	// Money moves executed inside a job scope (funding, refunds, boosts) show
+	// up on that job's timeline — the GridBank-style per-job accounting trail.
+	if s := tracing.Default().Current(); s.Recording() {
+		s.AddEventAt(b.clock.Now(), "bank."+string(kind),
+			tracing.String("from", string(from)),
+			tracing.String("to", string(to)),
+			tracing.String("amount", amount.String()),
+			tracing.String("memo", memo))
+	}
 	// Trim lazily at 2x the cap so the copy cost amortizes to O(1).
 	if b.ledgerCap > 0 && len(b.ledger) > 2*b.ledgerCap {
 		drop := len(b.ledger) - b.ledgerCap

@@ -18,6 +18,7 @@ import (
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/vm"
 )
 
@@ -279,6 +280,15 @@ func (c *Cluster) StartTask(hostID string, owner auction.BidderID, envs []string
 	}
 	h.tasks[t.ID] = t
 	mTasksStarted.Inc()
+	// VM acquisition inside a job scope lands on that job's timeline: which
+	// machine the chunk got and when it becomes ready.
+	if s := tracing.Default().Current(); s.Recording() {
+		s.AddEventAt(c.engine.Now(), "grid.vm-acquire",
+			tracing.String("host", hostID),
+			tracing.String("vm", machine.ID),
+			tracing.String("task", t.ID),
+			tracing.String("ready_at", machine.ReadyAt.Format(time.RFC3339)))
+	}
 	// The owner is consuming CPU on this host now.
 	if err := h.Market.SetActive(owner, true); err != nil && !errors.Is(err, auction.ErrUnknownBidder) {
 		return nil, err

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"strings"
@@ -232,7 +233,7 @@ func NewAuctioneerClient(base string, client *http.Client) *AuctioneerClient {
 // Status fetches the market state.
 func (c *AuctioneerClient) Status() (MarketStatus, error) {
 	var out MarketStatus
-	err := c.call.get(c.base+"/status", &out)
+	err := c.call.get(context.Background(), c.base+"/status", &out)
 	return out, err
 }
 
@@ -240,7 +241,7 @@ func (c *AuctioneerClient) Status() (MarketStatus, error) {
 // bid.
 func (c *AuctioneerClient) PlaceBid(bidder string, budget bank.Amount, deadline time.Time) (bank.Amount, error) {
 	var out BidResponse
-	err := c.call.post(c.base+"/bids",
+	err := c.call.post(context.Background(), c.base+"/bids",
 		BidRequest{Bidder: bidder, Budget: budget.String(), Deadline: deadline}, &out)
 	if err != nil {
 		return 0, err
@@ -250,14 +251,14 @@ func (c *AuctioneerClient) PlaceBid(bidder string, budget bank.Amount, deadline 
 
 // Boost adds funds to a bid.
 func (c *AuctioneerClient) Boost(bidder string, extra bank.Amount) error {
-	return c.call.post(c.base+"/boosts",
+	return c.call.post(context.Background(), c.base+"/boosts",
 		BoostRequest{Bidder: bidder, Extra: extra.String()}, nil)
 }
 
 // CancelBid withdraws a bid, returning the unspent budget.
 func (c *AuctioneerClient) CancelBid(bidder string) (bank.Amount, error) {
 	var out BidResponse
-	if err := c.call.del(c.base+"/bids/"+bidder, &out); err != nil {
+	if err := c.call.del(context.Background(), c.base+"/bids/"+bidder, &out); err != nil {
 		return 0, err
 	}
 	return bank.ParseAmount(out.Refund)
@@ -266,13 +267,13 @@ func (c *AuctioneerClient) CancelBid(bidder string) (bank.Amount, error) {
 // Shares lists current allocations.
 func (c *AuctioneerClient) Shares() ([]ShareWire, error) {
 	var out []ShareWire
-	err := c.call.get(c.base+"/shares", &out)
+	err := c.call.get(context.Background(), c.base+"/shares", &out)
 	return out, err
 }
 
 // WindowStats fetches the §4 statistics for one window label.
 func (c *AuctioneerClient) WindowStats(window string) (WindowStats, error) {
 	var out WindowStats
-	err := c.call.get(c.base+"/stats/"+window, &out)
+	err := c.call.get(context.Background(), c.base+"/stats/"+window, &out)
 	return out, err
 }

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"crypto/ed25519"
 	"encoding/base64"
 	"errors"
@@ -285,7 +286,7 @@ func NewBankClient(base string, client *http.Client) *BankClient {
 // CreateAccount registers an account.
 func (c *BankClient) CreateAccount(id string, owner ed25519.PublicKey, parent string) (AccountInfo, error) {
 	var out AccountInfo
-	err := c.call.post(c.base+"/accounts",
+	err := c.call.post(context.Background(), c.base+"/accounts",
 		CreateAccountRequest{ID: id, OwnerKey: EncodeKey(owner), Parent: parent}, &out)
 	return out, err
 }
@@ -293,7 +294,7 @@ func (c *BankClient) CreateAccount(id string, owner ed25519.PublicKey, parent st
 // Account fetches an account's public view.
 func (c *BankClient) Account(id string) (AccountInfo, error) {
 	var out AccountInfo
-	err := c.call.get(c.base+"/accounts/"+id, &out)
+	err := c.call.get(context.Background(), c.base+"/accounts/"+id, &out)
 	return out, err
 }
 
@@ -308,7 +309,7 @@ func (c *BankClient) Balance(id string) (bank.Amount, error) {
 
 // Deposit grants funds (operator API).
 func (c *BankClient) Deposit(id string, amount bank.Amount, memo string) error {
-	return c.call.post(c.base+"/deposits",
+	return c.call.post(context.Background(), c.base+"/deposits",
 		DepositRequest{ID: id, Amount: amount.String(), Memo: memo}, nil)
 }
 
@@ -326,7 +327,7 @@ func (c *BankClient) Transfer(req bank.TransferRequest) (bank.Receipt, error) {
 	var out ReceiptWire
 	// Retried: the bank's nonce spent-store rejects replays, so a transfer
 	// whose response was lost can be re-sent without double-spending.
-	if err := c.call.postIdempotent(c.base+"/transfers", wirereq, &out); err != nil {
+	if err := c.call.postIdempotent(context.Background(), c.base+"/transfers", wirereq, &out); err != nil {
 		return bank.Receipt{}, err
 	}
 	return out.ToReceipt()
@@ -335,14 +336,14 @@ func (c *BankClient) Transfer(req bank.TransferRequest) (bank.Receipt, error) {
 // History lists ledger entries touching id.
 func (c *BankClient) History(id string) ([]EntryWire, error) {
 	var out []EntryWire
-	err := c.call.get(c.base+"/history/"+id, &out)
+	err := c.call.get(context.Background(), c.base+"/history/"+id, &out)
 	return out, err
 }
 
 // PublicKey fetches the bank's receipt-verification key.
 func (c *BankClient) PublicKey() (ed25519.PublicKey, error) {
 	var out PublicKeyResponse
-	if err := c.call.get(c.base+"/publickey", &out); err != nil {
+	if err := c.call.get(context.Background(), c.base+"/publickey", &out); err != nil {
 		return nil, err
 	}
 	return decodeKey(out.Key)

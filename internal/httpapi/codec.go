@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"tycoongrid/internal/retry"
+	"tycoongrid/internal/tracing"
 )
 
 // apiError is the wire form of a failure.
@@ -91,6 +93,7 @@ const DefaultClientTimeout = 15 * time.Second
 // policy; single-shot calls still get the breaker, so a dead daemon fails
 // fast everywhere.
 type Caller struct {
+	name    string
 	client  *http.Client
 	policy  retry.Policy
 	breaker *retry.Breaker
@@ -103,17 +106,28 @@ func newCaller(name string, client *http.Client) Caller {
 		client = &http.Client{Timeout: DefaultClientTimeout}
 	}
 	return Caller{
+		name:    name,
 		client:  client,
 		policy:  retry.Policy{Name: name},
 		breaker: retry.NewBreaker(retry.BreakerConfig{Name: name}),
 	}
 }
 
-// attempt runs one exchange under the breaker. A Permanent (4xx) error is
-// recorded as breaker success: the daemon answered, the request was just
-// wrong, and wrong requests must not blow the circuit for everyone else.
-func (c *Caller) attempt(ctx context.Context, method, url, contentType string, body []byte, out any) error {
+// attempt runs one exchange under the breaker inside its own child span
+// ("rpc.attempt", numbered), so a retried call renders as one parent span
+// with N attempt children and a breaker-fast-fail is visible as an aborted
+// attempt that never reached the wire. A Permanent (4xx) error is recorded
+// as breaker success: the daemon answered, the request was just wrong, and
+// wrong requests must not blow the circuit for everyone else.
+func (c *Caller) attempt(ctx context.Context, n int, method, url, contentType string, body []byte, out any) error {
+	span, ctx := tracing.Default().StartSpan(ctx, "rpc.attempt",
+		tracing.String("client", c.name),
+		tracing.String("method", method),
+		tracing.String("url", url),
+		tracing.String("attempt", strconv.Itoa(n)))
 	if err := c.breaker.Allow(); err != nil {
+		span.SetAttr(tracing.String("aborted", "breaker-open"))
+		span.EndErr(err)
 		return err
 	}
 	err := send(ctx, c.client, method, url, contentType, body, out)
@@ -122,52 +136,65 @@ func (c *Caller) attempt(ctx context.Context, method, url, contentType string, b
 	} else {
 		c.breaker.Record(err)
 	}
+	span.EndErr(err)
 	return err
 }
 
-// retried runs the exchange under the retry policy; the request body is
-// marshaled once and replayed byte-identical on every attempt.
-func (c *Caller) retried(method, url, contentType string, body []byte, out any) error {
-	return c.policy.Do(context.Background(), func(ctx context.Context) error {
-		return c.attempt(ctx, method, url, contentType, body, out)
-	})
+// call wraps a whole exchange — all attempts — in one "rpc.<client>" span
+// whose parent comes from ctx or, for the context-free typed clients, the
+// tracer's current scope. retries > 1 means the retry policy drives it.
+func (c *Caller) call(ctx context.Context, retries bool, method, url, contentType string, body []byte, out any) error {
+	parent, ctx := tracing.Default().StartSpan(ctx, "rpc."+c.name,
+		tracing.String("method", method), tracing.String("url", url))
+	var err error
+	if retries {
+		n := 0
+		err = c.policy.Do(ctx, func(actx context.Context) error {
+			n++
+			return c.attempt(actx, n, method, url, contentType, body, out)
+		})
+	} else {
+		err = c.attempt(ctx, 1, method, url, contentType, body, out)
+	}
+	parent.EndErr(err)
+	return err
 }
 
 // get fetches url with retries — GETs are idempotent by construction.
-func (c *Caller) get(url string, out any) error {
-	return c.retried(http.MethodGet, url, "", nil, out)
+func (c *Caller) get(ctx context.Context, url string, out any) error {
+	return c.call(ctx, true, http.MethodGet, url, "", nil, out)
 }
 
 // post sends one non-idempotent JSON request: a single attempt under the
 // breaker, because replaying it could repeat a side effect.
-func (c *Caller) post(url string, in, out any) error {
+func (c *Caller) post(ctx context.Context, url string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("httpapi: encoding request: %w", err)
 	}
-	return c.attempt(context.Background(), http.MethodPost, url, "application/json", body, out)
+	return c.call(ctx, false, http.MethodPost, url, "application/json", body, out)
 }
 
 // postIdempotent sends a JSON request that is safe to replay — the server
 // deduplicates it (nonce-protected transfers, token-protected boosts) or the
 // operation is a state refresh (heartbeats) — with full retries.
-func (c *Caller) postIdempotent(url string, in, out any) error {
+func (c *Caller) postIdempotent(ctx context.Context, url string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("httpapi: encoding request: %w", err)
 	}
-	return c.retried(http.MethodPost, url, "application/json", body, out)
+	return c.call(ctx, true, http.MethodPost, url, "application/json", body, out)
 }
 
 // del sends a DELETE as a single attempt under the breaker: deletes answer
 // 404 on replay, so a retry after a lost response would mask the outcome.
-func (c *Caller) del(url string, out any) error {
-	return c.attempt(context.Background(), http.MethodDelete, url, "", nil, out)
+func (c *Caller) del(ctx context.Context, url string, out any) error {
+	return c.call(ctx, false, http.MethodDelete, url, "", nil, out)
 }
 
 // rawPost sends a non-JSON body (xRSL submissions) as a single attempt.
-func (c *Caller) rawPost(url, contentType, body string, out any) error {
-	return c.attempt(context.Background(), http.MethodPost, url, contentType, []byte(body), out)
+func (c *Caller) rawPost(ctx context.Context, url, contentType, body string, out any) error {
+	return c.call(ctx, false, http.MethodPost, url, contentType, []byte(body), out)
 }
 
 // send executes one HTTP exchange and decodes the JSON response into out
@@ -186,6 +213,11 @@ func send(ctx context.Context, client *http.Client, method, url, contentType str
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	// Propagate the active span (the rpc.attempt child) so the server joins
+	// this trace; each retry attempt therefore has its own wire identity.
+	if sc := tracing.SpanFromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set(tracing.TraceparentHeader, tracing.FormatTraceparent(sc))
 	}
 	resp, err := client.Do(req)
 	if err != nil {

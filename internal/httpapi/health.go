@@ -1,0 +1,108 @@
+package httpapi
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health tracks a daemon's liveness and readiness separately. Liveness is
+// "the process is up" and never degrades; readiness is "safe to route
+// traffic here" — false until every declared dependency (bank, auctioneer,
+// SLS, ...) has answered at least once, and false again for good once the
+// graceful-shutdown drain starts, so load balancers stop sending work to a
+// daemon that is about to exit.
+type Health struct {
+	service string
+	start   time.Time
+
+	mu       sync.Mutex
+	deps     map[string]bool
+	draining bool
+}
+
+// NewHealth declares a daemon and the dependencies it must hear from before
+// reporting ready. With no deps the daemon is ready from boot.
+func NewHealth(service string, deps ...string) *Health {
+	h := &Health{service: service, start: time.Now(), deps: make(map[string]bool, len(deps))}
+	for _, d := range deps {
+		h.deps[d] = false
+	}
+	return h
+}
+
+// MarkReady records that dependency dep has responded once. Unknown deps are
+// added as satisfied, so late-discovered dependencies don't flip readiness.
+func (h *Health) MarkReady(dep string) {
+	h.mu.Lock()
+	h.deps[dep] = true
+	h.mu.Unlock()
+}
+
+// StartDrain flips readiness off permanently; called when graceful shutdown
+// begins.
+func (h *Health) StartDrain() {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
+}
+
+// Ready reports readiness plus the sorted list of dependencies still being
+// waited on (empty while draining — the cause is the drain, not a dep).
+func (h *Health) Ready() (ok bool, draining bool, waiting []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.draining {
+		return false, true, nil
+	}
+	for d, seen := range h.deps {
+		if !seen {
+			waiting = append(waiting, d)
+		}
+	}
+	sort.Strings(waiting)
+	return len(waiting) == 0, false, waiting
+}
+
+// HealthResponse is the body of the /healthz endpoints.
+type HealthResponse struct {
+	Status        string   `json:"status"`
+	Service       string   `json:"service"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	WaitingFor    []string `json:"waiting_for,omitempty"`
+}
+
+// LivenessHandler always answers 200: the process is serving requests.
+func (h *Health) LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, HealthResponse{
+			Status:        "ok",
+			Service:       h.service,
+			UptimeSeconds: time.Since(h.start).Seconds(),
+		})
+	})
+}
+
+// ReadinessHandler answers 200 once all dependencies have responded, 503
+// while still waiting ("starting") or once draining has begun ("draining").
+func (h *Health) ReadinessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, draining, waiting := h.Ready()
+		resp := HealthResponse{
+			Status:        "ok",
+			Service:       h.service,
+			UptimeSeconds: time.Since(h.start).Seconds(),
+			WaitingFor:    waiting,
+		}
+		if !ok {
+			resp.Status = "starting"
+			if draining {
+				resp.Status = "draining"
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		WriteJSON(w, resp)
+	})
+}

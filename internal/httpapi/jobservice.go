@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"tycoongrid/internal/arc"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
 )
 
 // JobService exposes the ARC-analog job manager over HTTP: xRSL submission,
@@ -34,6 +36,7 @@ func NewJobService(mgr *arc.Manager, engine *sim.Engine) (*JobService, error) {
 	s := &JobService{mgr: mgr, engine: engine, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /jobs", s.submit)
 	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}/timeline", s.timeline)
 	s.mux.HandleFunc("POST /boosts", s.boost)
 	s.mux.HandleFunc("POST /cancels", s.cancel)
 	s.mux.HandleFunc("GET /monitor", s.monitor)
@@ -122,7 +125,12 @@ func (s *JobService) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Scope the server span so the job's lifecycle span (and everything the
+	// market core records beneath it) joins this request's trace. The scope
+	// stack is safe here because the whole market runs under s.mu.
+	release := tracing.Default().PushScope(tracing.SpanFromContext(r.Context()))
 	gj, err := s.mgr.Submit(string(body), nil)
+	release()
 	var out JobWire
 	if err == nil {
 		out = jobWire(gj) // serialize under the lock; Drive mutates jobs
@@ -204,6 +212,24 @@ func (s *JobService) cancel(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, map[string]string{"status": "killed"})
 }
 
+// timeline serves a job's lifecycle audit trail. Job ids are gsiftp URLs, so
+// clients path-escape them into the single {id} segment.
+func (s *JobService) timeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	tl, err := s.mgr.Timeline(id)
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, arc.ErrUnknownJob) {
+			status = http.StatusNotFound
+		}
+		WriteError(w, status, err)
+		return
+	}
+	WriteJSON(w, tl)
+}
+
 func (s *JobService) monitor(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	snap := s.mgr.Monitor()
@@ -229,21 +255,21 @@ func NewJobClient(base string, client *http.Client) *JobClient {
 // Submit posts an xRSL description and returns the accepted job.
 func (c *JobClient) Submit(xrslText string) (JobWire, error) {
 	var out JobWire
-	err := c.call.rawPost(c.base+"/jobs", "text/plain", xrslText, &out)
+	err := c.call.rawPost(context.Background(), c.base+"/jobs", "text/plain", xrslText, &out)
 	return out, err
 }
 
 // Job fetches one job.
 func (c *JobClient) Job(id string) (JobWire, error) {
 	var out JobWire
-	err := c.call.get(c.base+"/jobs?id="+url.QueryEscape(id), &out)
+	err := c.call.get(context.Background(), c.base+"/jobs?id="+url.QueryEscape(id), &out)
 	return out, err
 }
 
 // Jobs lists all jobs.
 func (c *JobClient) Jobs() ([]JobWire, error) {
 	var out []JobWire
-	err := c.call.get(c.base+"/jobs", &out)
+	err := c.call.get(context.Background(), c.base+"/jobs", &out)
 	return out, err
 }
 
@@ -251,17 +277,24 @@ func (c *JobClient) Jobs() ([]JobWire, error) {
 func (c *JobClient) Boost(jobID, encodedToken string) error {
 	// Retried: the token can only be deposited once, so a replayed boost
 	// whose first response was lost is rejected harmlessly by the bank.
-	return c.call.postIdempotent(c.base+"/boosts", BoostWire{JobID: jobID, Token: encodedToken}, nil)
+	return c.call.postIdempotent(context.Background(), c.base+"/boosts", BoostWire{JobID: jobID, Token: encodedToken}, nil)
 }
 
 // Cancel kills a job.
 func (c *JobClient) Cancel(jobID string) error {
-	return c.call.post(c.base+"/cancels", CancelWire{JobID: jobID}, nil)
+	return c.call.post(context.Background(), c.base+"/cancels", CancelWire{JobID: jobID}, nil)
+}
+
+// Timeline fetches a job's lifecycle timeline.
+func (c *JobClient) Timeline(id string) (arc.Timeline, error) {
+	var out arc.Timeline
+	err := c.call.get(context.Background(), c.base+"/jobs/"+url.PathEscape(id)+"/timeline", &out)
+	return out, err
 }
 
 // Monitor fetches the Grid-monitor snapshot.
 func (c *JobClient) Monitor() (arc.MonitorSnapshot, error) {
 	var out arc.MonitorSnapshot
-	err := c.call.get(c.base+"/monitor", &out)
+	err := c.call.get(context.Background(), c.base+"/monitor", &out)
 	return out, err
 }

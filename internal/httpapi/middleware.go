@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -103,34 +104,63 @@ func MetricsHandler(reg *metrics.Registry) http.Handler {
 	})
 }
 
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	Status        string  `json:"status"`
-	Service       string  `json:"service"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+// HealthzHandler reports liveness for a named daemon. Kept for callers that
+// mount health probes outside ObservedMux; new code should use a Health.
+func HealthzHandler(service string) http.Handler {
+	return NewHealth(service).LivenessHandler()
 }
 
-// HealthzHandler reports liveness for a named daemon.
-func HealthzHandler(service string) http.Handler {
-	start := time.Now()
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		WriteJSON(w, HealthResponse{
-			Status:        "ok",
-			Service:       service,
-			UptimeSeconds: time.Since(start).Seconds(),
-		})
-	})
+// MuxOption configures ObservedMux.
+type MuxOption func(*muxConfig)
+
+type muxConfig struct {
+	health *Health
+	pprof  bool
+}
+
+// WithHealth supplies the daemon's Health so readiness reflects its real
+// dependency state. Without it the daemon reports ready from boot.
+func WithHealth(h *Health) MuxOption {
+	return func(c *muxConfig) { c.health = h }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ — behind a flag in
+// every daemon, because profile endpoints on a market daemon are a
+// information leak in an untrusted network.
+func WithPprof() MuxOption {
+	return func(c *muxConfig) { c.pprof = true }
 }
 
 // ObservedMux wraps a daemon's application handler with the standard
 // observability surface: GET /metrics (text exposition of the default
-// registry), GET /healthz, and every other path delegated to app. The whole
-// mux is instrumented, scrapes and health probes included, so a freshly
-// booted daemon exposes http_requests_total from its first scrape on.
-func ObservedMux(service string, app http.Handler) http.Handler {
+// registry), the /healthz liveness and /healthz/{live,ready} split,
+// GET /debug/traces (+ /debug/traces/{id}) over the default tracer,
+// optionally /debug/pprof/, and every other path delegated to app. The
+// whole mux is instrumented, scrapes and health probes included, so a
+// freshly booted daemon exposes http_requests_total from its first scrape
+// on; application routes additionally run inside a server span (Traced).
+func ObservedMux(service string, app http.Handler, opts ...MuxOption) http.Handler {
+	var cfg muxConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.health == nil {
+		cfg.health = NewHealth(service)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", MetricsHandler(nil))
-	mux.Handle("GET /healthz", HealthzHandler(service))
+	mux.Handle("GET /healthz", cfg.health.LivenessHandler())
+	mux.Handle("GET /healthz/live", cfg.health.LivenessHandler())
+	mux.Handle("GET /healthz/ready", cfg.health.ReadinessHandler())
+	mux.Handle("GET /debug/traces", TraceListHandler(nil))
+	mux.Handle("GET /debug/traces/{id}", TraceGetHandler(nil))
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", app)
-	return Instrument(service, mux)
+	return Instrument(service, Traced(service, mux))
 }

@@ -3,7 +3,7 @@ package httpapi
 import (
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,11 +39,13 @@ func NewServer(addr string, handler http.Handler) *http.Server {
 }
 
 // Serve runs NewServer(addr, handler) and blocks until the listener fails or
-// a SIGINT/SIGTERM arrives, in which case it drains in-flight requests for
-// up to ShutdownTimeout and returns nil on a clean drain. All four market
-// daemons use this instead of log.Fatal(http.ListenAndServe(...)) so a
-// deploy rollover never drops accepted requests.
-func Serve(addr string, handler http.Handler) error {
+// a SIGINT/SIGTERM arrives, in which case it runs every onDrain hook (daemons
+// pass their Health's StartDrain so readiness flips to 503 first), drains
+// in-flight requests for up to ShutdownTimeout and returns nil on a clean
+// drain. All four market daemons use this instead of
+// log.Fatal(http.ListenAndServe(...)) so a deploy rollover never drops
+// accepted requests.
+func Serve(addr string, handler http.Handler, onDrain ...func()) error {
 	srv := NewServer(addr, handler)
 
 	errCh := make(chan error, 1)
@@ -59,7 +61,10 @@ func Serve(addr string, handler http.Handler) error {
 	case err := <-errCh:
 		return err // listener failed before any signal
 	case sig := <-sigCh:
-		log.Printf("httpapi: received %v, draining for up to %v", sig, ShutdownTimeout)
+		slog.Info("draining on signal", "signal", sig.String(), "timeout", ShutdownTimeout.String())
+		for _, fn := range onDrain {
+			fn()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

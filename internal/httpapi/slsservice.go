@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"strconv"
@@ -133,13 +134,13 @@ func NewSLSClient(base string, client *http.Client) *SLSClient {
 // Register announces a host.
 func (c *SLSClient) Register(h sls.HostInfo) error {
 	// Retried: registration upserts the host record.
-	return c.call.postIdempotent(c.base+"/hosts", h, nil)
+	return c.call.postIdempotent(context.Background(), c.base+"/hosts", h, nil)
 }
 
 // Heartbeat refreshes liveness and (optionally) the advertised spot price.
 func (c *SLSClient) Heartbeat(id string, spotPrice float64) error {
 	// Retried: a heartbeat just refreshes liveness and price.
-	return c.call.postIdempotent(c.base+"/heartbeats",
+	return c.call.postIdempotent(context.Background(), c.base+"/heartbeats",
 		HeartbeatRequest{ID: id, SpotPrice: spotPrice}, nil)
 }
 
@@ -152,18 +153,18 @@ func (c *SLSClient) Select(q sls.Query) ([]sls.HostInfo, error) {
 		u += "&site=" + q.Site
 	}
 	var out []sls.HostInfo
-	err := c.call.get(u, &out)
+	err := c.call.get(context.Background(), u, &out)
 	return out, err
 }
 
 // Lookup fetches one host.
 func (c *SLSClient) Lookup(id string) (sls.HostInfo, error) {
 	var out sls.HostInfo
-	err := c.call.get(c.base+"/hosts/"+id, &out)
+	err := c.call.get(context.Background(), c.base+"/hosts/"+id, &out)
 	return out, err
 }
 
 // Deregister removes a host.
 func (c *SLSClient) Deregister(id string) error {
-	return c.call.del(c.base+"/hosts/"+id, nil)
+	return c.call.del(context.Background(), c.base+"/hosts/"+id, nil)
 }

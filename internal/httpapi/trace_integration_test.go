@@ -1,0 +1,149 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tycoongrid/internal/retry"
+	"tycoongrid/internal/tracing"
+)
+
+// headerRecorder captures the traceparent header of every outgoing request
+// before delegating, failed round trips included.
+type headerRecorder struct {
+	mu    sync.Mutex
+	seen  []string
+	inner http.RoundTripper
+}
+
+func (h *headerRecorder) RoundTrip(r *http.Request) (*http.Response, error) {
+	h.mu.Lock()
+	h.seen = append(h.seen, r.Header.Get(tracing.TraceparentHeader))
+	h.mu.Unlock()
+	return h.inner.RoundTrip(r)
+}
+
+func (h *headerRecorder) headers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.seen...)
+}
+
+// TestTraceparentRoundTripThroughRetries drives a retried read through two
+// transport failures and checks the span topology the Caller produces: one
+// "rpc.sls" parent with three "rpc.attempt" children, each attempt carrying
+// its own traceparent header on the wire, all under one trace.
+func TestTraceparentRoundTripThroughRetries(t *testing.T) {
+	tr := tracing.Default()
+	tr.Reset()
+	defer tr.Reset()
+
+	srv := newSLSFixture(t)
+	rec := &headerRecorder{inner: &flakyTransport{n: 2, inner: http.DefaultTransport}}
+	client := NewSLSClient(srv.URL, &http.Client{Transport: rec})
+	if _, err := client.Lookup("h1"); err != nil {
+		t.Fatalf("Lookup through flaky transport: %v", err)
+	}
+
+	headers := rec.headers()
+	if len(headers) != 3 {
+		t.Fatalf("wire requests = %d, want 3 (2 failures + success)", len(headers))
+	}
+	var traceID tracing.TraceID
+	wireSpans := make(map[tracing.SpanID]bool)
+	for i, h := range headers {
+		sc, ok := tracing.ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("attempt %d traceparent %q did not parse", i+1, h)
+		}
+		if !sc.Sampled {
+			t.Errorf("attempt %d traceparent not sampled: %q", i+1, h)
+		}
+		if i == 0 {
+			traceID = sc.TraceID
+		} else if sc.TraceID != traceID {
+			t.Errorf("attempt %d trace id %s, want %s (one trace)", i+1, sc.TraceID, traceID)
+		}
+		if wireSpans[sc.SpanID] {
+			t.Errorf("attempt %d reused span id %s; each attempt must be its own span", i+1, sc.SpanID)
+		}
+		wireSpans[sc.SpanID] = true
+	}
+
+	var parent *tracing.Span
+	attempts := 0
+	for _, s := range tr.Spans(traceID) {
+		switch s.Name() {
+		case "rpc.sls":
+			parent = s
+		case "rpc.attempt":
+			attempts++
+			if !wireSpans[s.Context().SpanID] {
+				t.Errorf("attempt span %s never reached the wire", s.Context().SpanID)
+			}
+		}
+	}
+	if parent == nil {
+		t.Fatal("no rpc.sls parent span recorded")
+	}
+	if attempts != 3 {
+		t.Errorf("attempt spans = %d, want 3", attempts)
+	}
+	for _, s := range tr.Spans(traceID) {
+		if s.Name() == "rpc.attempt" && s.Parent() != parent.Context().SpanID {
+			t.Errorf("attempt span %s parented to %s, want rpc.sls %s",
+				s.Context().SpanID, s.Parent(), parent.Context().SpanID)
+		}
+	}
+}
+
+// TestBreakerOpenRecordsAbortedAttempt trips the circuit breaker on a dead
+// daemon and checks that the short-circuited call still records an attempt
+// span — marked aborted, never reaching the wire.
+func TestBreakerOpenRecordsAbortedAttempt(t *testing.T) {
+	tr := tracing.Default()
+	tr.Reset()
+	defer tr.Reset()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	client := NewSLSClient(url, nil)
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = client.Lookup("h1"); err == nil {
+			t.Fatal("Lookup of dead daemon succeeded")
+		}
+	}
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("breaker not open after repeated failures: %v", err)
+	}
+
+	tr.Reset() // drop the trip-phase spans; observe one short-circuited call
+	if _, err = client.Lookup("h1"); err == nil {
+		t.Fatal("Lookup with open breaker succeeded")
+	}
+
+	aborted := 0
+	for _, sum := range tr.Summaries() {
+		for _, s := range tr.Spans(sum.TraceID) {
+			if s.Name() != "rpc.attempt" {
+				continue
+			}
+			for _, a := range s.Attrs() {
+				if a.Key == "aborted" && a.Value == "breaker-open" {
+					aborted++
+					if s.Err() == "" {
+						t.Error("aborted attempt span recorded no error")
+					}
+				}
+			}
+		}
+	}
+	if aborted == 0 {
+		t.Error("open-breaker call recorded no aborted rpc.attempt span")
+	}
+}

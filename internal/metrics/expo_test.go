@@ -75,3 +75,33 @@ func TestSnapshotWriteText(t *testing.T) {
 		t.Fatalf("missing gauge line in %q", out)
 	}
 }
+
+// TestExpositionEscaping pins the text-format escaping rules on their own:
+// label values escape backslash, double-quote and newline; HELP text escapes
+// backslash and newline but leaves double-quotes alone. A scraper fed the
+// unescaped forms silently mis-parses the whole exposition, so each character
+// gets its own assertion.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line one\nline \\ two \"quoted\"", "v").
+		With("back\\slash \"quote\"\nnewline").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	wantLines := []string{
+		`# HELP esc_total line one\nline \\ two "quoted"`,
+		`# TYPE esc_total counter`,
+		`esc_total{v="back\\slash \"quote\"\nnewline"} 1`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", w, got)
+		}
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Errorf("raw newline leaked into exposition (%d lines):\n%q", strings.Count(got, "\n"), got)
+	}
+}

@@ -1,0 +1,63 @@
+package tracing
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Handler wraps a slog.Handler and stamps trace_id/span_id onto every record
+// whose context (or, failing that, the tracer's current scope) carries a
+// span. All daemons share it via InitSlog so log lines join up with traces.
+type Handler struct {
+	inner  slog.Handler
+	tracer *Tracer
+}
+
+// NewHandler wraps inner; a nil tracer means Default().
+func NewHandler(inner slog.Handler, tracer *Tracer) *Handler {
+	if tracer == nil {
+		tracer = Default()
+	}
+	return &Handler{inner: inner, tracer: tracer}
+}
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps the active span's ids onto the record, then delegates.
+func (h *Handler) Handle(ctx context.Context, rec slog.Record) error {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		s = h.tracer.Current()
+	}
+	if sc := s.Context(); sc.Valid() {
+		rec.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &Handler{inner: h.inner.WithAttrs(attrs), tracer: h.tracer}
+}
+
+// WithGroup implements slog.Handler.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name), tracer: h.tracer}
+}
+
+// InitSlog installs the process-wide logger: JSON records to w with a
+// "service" attribute on every line and trace/span ids stamped from the
+// active span. Returns the logger for callers that want a handle.
+func InitSlog(service string, w io.Writer, level slog.Level) *slog.Logger {
+	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	logger := slog.New(NewHandler(inner, Default())).With(slog.String("service", service))
+	slog.SetDefault(logger)
+	return logger
+}

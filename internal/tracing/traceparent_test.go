@@ -1,0 +1,68 @@
+package tracing
+
+import "testing"
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	for i := range sc.TraceID {
+		sc.TraceID[i] = byte(i + 1)
+	}
+	for i := range sc.SpanID {
+		sc.SpanID[i] = byte(0xa0 + i)
+	}
+	h := FormatTraceparent(sc)
+	want := "00-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-01"
+	if h != want {
+		t.Fatalf("format = %q, want %q", h, want)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v", got, ok)
+	}
+
+	sc.Sampled = false
+	got, ok = ParseTraceparent(FormatTraceparent(sc))
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled flag lost: %+v ok=%v", got, ok)
+	}
+}
+
+func TestFormatTraceparentInvalid(t *testing.T) {
+	if h := FormatTraceparent(SpanContext{}); h != "" {
+		t.Fatalf("invalid context formatted as %q", h)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7",      // missing flags
+		"ff-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-01",   // reserved version
+		"00-00000000000000000000000000000000-a0a1a2a3a4a5a6a7-01",   // zero trace id
+		"00-0102030405060708090a0b0c0d0e0f10-0000000000000000-01",   // zero span id
+		"00-0102030405060708090a0b0c0d0e0fXY-a0a1a2a3a4a5a6a7-01",   // bad hex
+		"00-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-0Z",   // bad flags
+		"00-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-01-x", // v00 extra field
+		"00_0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-01",   // bad delimiter
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Future versions may carry extra fields after the flags; the prefix
+	// still parses (W3C forward compatibility).
+	h := "01-0102030405060708090a0b0c0d0e0f10-a0a1a2a3a4a5a6a7-01-extrafield"
+	sc, ok := ParseTraceparent(h)
+	if !ok || !sc.Sampled {
+		t.Fatalf("future version rejected: %+v ok=%v", sc, ok)
+	}
+	// Whitespace is trimmed.
+	if _, ok := ParseTraceparent("  " + FormatTraceparent(sc) + "  "); !ok {
+		t.Fatal("padded header rejected")
+	}
+}
