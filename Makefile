@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos trace-demo check
+.PHONY: all build vet test race race-check fuzz-short bench chaos trace-demo check
 
 all: build test
 
@@ -14,9 +14,23 @@ test:
 	$(GO) test ./...
 
 # The metrics subsystem is lock-light by design; the race target is the gate
-# that keeps it honest (see internal/metrics/stress_test.go).
+# that keeps it honest (see internal/metrics/stress_test.go). With the
+# replication runner driving whole simulated worlds concurrently
+# (internal/experiment/replicate.go), this now also covers the parallel
+# experiment path end to end.
 race:
 	$(GO) test -race ./...
+
+race-check: race
+
+# Short fuzz pass over the grammar-shaped inputs: the xRSL job-description
+# parser and the W3C traceparent header decoder. Seed corpora live under each
+# package's testdata/fuzz/; FUZZTIME is per target. Go allows one fuzz target
+# per invocation, hence two runs.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/xrsl
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTraceparent$$' -fuzztime $(FUZZTIME) ./internal/tracing
 
 # Paper-artifact regeneration plus the metrics and tracing micro-benchmarks,
 # including the auction-clear overhead bars (metrics overhead_% < 5, tracing
@@ -39,4 +53,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet race chaos trace-demo
+check: vet race-check fuzz-short chaos trace-demo

@@ -76,6 +76,45 @@ func BenchmarkFigure4ARForecast(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedFigure4 measures the replication runner: four seeded
+// Figure 4 replications reduced into mean/CI aggregates, serial vs a
+// four-worker pool. On a multi-core machine the parallel variant approaches
+// a 4x speedup; the aggregates are byte-identical either way.
+func BenchmarkReplicatedFigure4(b *testing.B) {
+	p := experiment.DefaultFigure4Params()
+	// Shrink the scenario so one iteration stays in benchmark territory
+	// while still exercising the full world build per replication.
+	p.Load.Hours = 6
+	p.Load.World.Hosts = 4
+	p.Order = 3
+	p.HorizonSteps = 3
+	p.Stride = 2
+	p.FitWindow = 100
+	p.ResampleSnapshots = 30
+	spec := experiment.RepSpecFigure4(p)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"Serial", 1},
+		{"Parallel4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg, err := experiment.Replicate(spec, experiment.ReplicationConfig{
+					Reps: 4, Parallel: bc.workers, BaseSeed: 2006,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(agg.Mean) == 0 {
+					b.Fatal("empty aggregate")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure5Portfolio regenerates the risk-free vs equal-share
 // portfolio comparison of Figure 5.
 func BenchmarkFigure5Portfolio(b *testing.B) {

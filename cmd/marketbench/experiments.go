@@ -7,6 +7,32 @@ import (
 	"tycoongrid/internal/experiment"
 )
 
+// runReplicated runs an experiment's replication spec across a worker pool
+// and returns the aggregate table. Experiments without a spec (deterministic
+// sweeps) fall back to a single run.
+func runReplicated(name string, seed int64, csvDir string, reps, parallel int) (string, error) {
+	spec, err := experiment.DefaultRepSpec(name)
+	if err != nil {
+		out, err := runExperiment(name, seed, csvDir)
+		if err != nil {
+			return "", err
+		}
+		return "(deterministic experiment; single run)\n" + out, nil
+	}
+	agg, err := experiment.Replicate(spec, experiment.ReplicationConfig{
+		Reps: reps, Parallel: parallel, BaseSeed: seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	if csvDir != "" {
+		if err := agg.WriteCSV(csvDir); err != nil {
+			return "", err
+		}
+	}
+	return agg.String(), nil
+}
+
 // runExperiment dispatches one named experiment with the given seed and
 // returns its printable result.
 func runExperiment(name string, seed int64, csvDir string) (string, error) {

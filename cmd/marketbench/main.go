@@ -14,6 +14,7 @@
 //	marketbench -run figure6        # hour/day/week price distributions
 //	marketbench -run figure7        # window approximation accuracy
 //	marketbench -seed 2006          # alternate RNG seed
+//	marketbench -reps 8 -parallel 4 # 8 seeded replications on 4 workers
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 2006, "RNG seed for all experiments")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files (optional)")
 	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
+	reps := flag.Int("reps", 1, "independent replications per experiment (1 = single run)")
+	parallel := flag.Int("parallel", 0, "replication workers; 0 = GOMAXPROCS (output is identical for any value)")
 	flag.Parse()
 	tracing.InitSlog("marketbench", os.Stderr, slog.LevelWarn)
 	tracing.Default().SetSampleRatio(*traceRatio)
@@ -63,7 +66,13 @@ func main() {
 		start := time.Now()
 		span, _ := tracing.Default().StartSpan(context.Background(), "experiment."+name)
 		release := tracing.Default().PushScope(span)
-		out, err := runExperiment(name, *seed, *csvDir)
+		var out string
+		var err error
+		if *reps > 1 {
+			out, err = runReplicated(name, *seed, *csvDir, *reps, *parallel)
+		} else {
+			out, err = runExperiment(name, *seed, *csvDir)
+		}
 		release()
 		if err != nil {
 			span.EndErr(err)
@@ -72,20 +81,36 @@ func main() {
 		}
 		span.End()
 		fmt.Print(out)
-		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		if *reps > 1 {
+			// Keep wall-clock noise off stdout so replicated output is
+			// byte-for-byte comparable across runs and worker counts.
+			fmt.Println()
+			fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", name, time.Since(start).Seconds())
+		} else {
+			fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		}
 	}
 
 	// Every experiment above drove the instrumented market internals
 	// (auction clears, bank moves, grid ticks), so the aggregate metrics of
 	// the run are a free by-product — print them so the benchmark
-	// trajectory is observable run over run.
-	fmt.Println("=== METRICS SNAPSHOT ===")
-	metrics.Default().Snapshot().WriteText(os.Stdout)
+	// trajectory is observable run over run. Skipped when replicating:
+	// concurrent worlds interleave writes into the process-wide registry,
+	// so the final gauge values depend on completion order, and the
+	// replication aggregates above are the deterministic artifact.
+	if *reps <= 1 {
+		fmt.Println("=== METRICS SNAPSHOT ===")
+		metrics.Default().Snapshot().WriteText(os.Stdout)
+	}
 
 	// Each experiment ran under its own root span; the slowest one is the
 	// optimization target, so dump its tree as the run's parting diagnostic.
-	if sum, ok := tracing.Default().Slowest(); ok {
-		fmt.Println("=== SLOWEST TRACE ===")
-		fmt.Print(tracing.RenderTree(tracing.Default().Spans(sum.TraceID)))
+	// Trace IDs and durations are run-dependent, so this too stays out of
+	// the replicated (deterministic) output.
+	if *reps <= 1 {
+		if sum, ok := tracing.Default().Slowest(); ok {
+			fmt.Println("=== SLOWEST TRACE ===")
+			fmt.Print(tracing.RenderTree(tracing.Default().Spans(sum.TraceID)))
+		}
 	}
 }

@@ -174,6 +174,11 @@ type Config struct {
 	// replicated and partitioned to pick up a different set of compute
 	// nodes", §3). Empty means the whole cluster.
 	Hosts []string
+	// Tracer supplies the job-lifecycle scope (and receives the agent's
+	// scoped teardown pushes). Nil means tracing.Default(). Replicated
+	// experiments give each world its own tracer so concurrently running
+	// worlds never share a scope stack.
+	Tracer *tracing.Tracer
 }
 
 // Agent is the broker-side scheduler. Not safe for concurrent use; it runs
@@ -205,6 +210,9 @@ func New(cfg Config) (*Agent, error) {
 	}
 	if cfg.Account == "" {
 		return nil, errors.New("agent: empty broker account")
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = tracing.Default()
 	}
 	a := &Agent{
 		cfg:      cfg,
@@ -321,7 +329,7 @@ func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64
 		Deadline:   deadline,
 		Submitted:  now,
 		State:      StateRunning,
-		Span:       tracing.Default().Current(),
+		Span:       a.cfg.Tracer.Current(),
 		chunks:     append([]float64(nil), chunkWork...),
 		envs:       jr.RuntimeEnvs,
 		busy:       make(map[string]bool),
@@ -669,7 +677,7 @@ func (a *Agent) failJob(job *Job, reason string) {
 	job.FailReason = reason
 	a.event(job, "failed", tracing.String("reason", reason), a.escrowAttr(job))
 	// Scope the unwind so the bank's refund entry lands on the timeline.
-	release := tracing.Default().PushScope(job.Span)
+	release := a.cfg.Tracer.PushScope(job.Span)
 	a.unwind(job) // cancels bids, refunds the sub-account, marks StateFailed
 	release()
 	mJobsFailed.Inc()
@@ -712,7 +720,7 @@ func (a *Agent) finish(job *Job) {
 	// Exact end: the latest sub-job completion (back-dated by the grid).
 	job.endedAt = latestDone(job.SubJobs, a.cfg.Cluster.Engine().Now())
 	// Scope the teardown so the bank's refund entry lands on the timeline.
-	release := tracing.Default().PushScope(job.Span)
+	release := a.cfg.Tracer.PushScope(job.Span)
 	defer release()
 	bidder := auction.BidderID(job.SubAccount)
 	for _, h := range job.Hosts {
@@ -778,7 +786,7 @@ func (a *Agent) Cancel(jobID string) error {
 	job.chunks = nil
 	job.FailReason = "cancelled"
 	a.event(job, "cancelled", a.escrowAttr(job))
-	release := tracing.Default().PushScope(job.Span)
+	release := a.cfg.Tracer.PushScope(job.Span)
 	a.unwind(job) // cancels bids, refunds, marks StateFailed
 	release()
 	mJobsFailed.Inc()

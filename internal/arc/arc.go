@@ -64,6 +64,10 @@ type Config struct {
 	// the paper's application: Count sub-jobs of CPUTime (or WallTime) each
 	// at the reference CPU speed.
 	ChunkWork func(*xrsl.JobRequest) []float64
+	// Tracer receives job lifecycle spans. Nil means the process-wide
+	// tracing.Default(); replicated experiments inject a per-world tracer so
+	// concurrent worlds do not share a scope stack.
+	Tracer *tracing.Tracer
 }
 
 // Manager is the ARC-analog job manager.
@@ -90,6 +94,9 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.ChunkWork == nil {
 		cfg.ChunkWork = DefaultChunkWork
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = tracing.Default()
+	}
 	return &Manager{cfg: cfg, jobs: make(map[string]*GridJob)}, nil
 }
 
@@ -113,7 +120,7 @@ func DefaultChunkWork(jr *xrsl.JobRequest) []float64 {
 // passes PREPARING (stage-in) before execution and FINISHING (stage-out)
 // after; both are modeled as fixed per-file delays on the simulation clock.
 func (m *Manager) Submit(xrslText string, chunkWork []float64) (*GridJob, error) {
-	tr := tracing.Default()
+	tr := m.cfg.Tracer
 	eng := m.cfg.Agent.Engine()
 	// The lifecycle span parents under whatever is active — the HTTP server
 	// span of a POST /jobs, or a CLI's root span — and stays open until the
@@ -272,7 +279,7 @@ func (m *Manager) Cancel(jobID string) error {
 		gj.AgentJob.OnComplete = nil // suppress the stage-out path
 		// Scope the kill so the agent's refund and bid-cancel events land on
 		// this job's timeline.
-		release := tracing.Default().PushScope(gj.Span)
+		release := m.cfg.Tracer.PushScope(gj.Span)
 		err := m.cfg.Agent.Cancel(gj.AgentJob.ID)
 		release()
 		if err != nil && !errors.Is(err, agent.ErrJobDone) {

@@ -68,7 +68,8 @@ type Market struct {
 	now       time.Time
 	observers []func(price float64, at time.Time)
 
-	priceGauge *metrics.Gauge // this host's auction_clearing_price child
+	priceGauge *metrics.Gauge  // this host's auction_clearing_price child
+	tracer     *tracing.Tracer // per-world scope source; Default unless injected
 }
 
 // Config configures a Market.
@@ -81,6 +82,10 @@ type Config struct {
 	ReservePrice float64
 	// Start is the market's initial clock reading.
 	Start time.Time
+	// Tracer supplies the active job scope for the auditable auction trail.
+	// Nil means the process-wide tracing.Default(). Replicated experiments
+	// inject a per-world tracer so concurrent worlds never share scopes.
+	Tracer *tracing.Tracer
 }
 
 // Errors returned by Market operations.
@@ -98,7 +103,12 @@ func NewMarket(cfg Config) (*Market, error) {
 	if reserve <= 0 {
 		reserve = 1e-6 // one microcredit/second
 	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = tracing.Default()
+	}
 	return &Market{
+		tracer:     tr,
 		hostID:     cfg.HostID,
 		capacity:   cfg.CapacityMHz,
 		reserve:    reserve,
@@ -150,7 +160,7 @@ func (m *Market) PlaceBid(bidder BidderID, budget bank.Amount, deadline time.Tim
 	mBidBudget.Observe(budget.Credits())
 	// Auditable auction trail: when a job scope is active (the agent bidding
 	// on this job's behalf), record the auctioneer's view of the bid.
-	if s := tracing.Default().Current(); s.Recording() {
+	if s := m.tracer.Current(); s.Recording() {
 		s.AddEventAt(m.now, "auction.bid",
 			tracing.String("host", m.hostID),
 			tracing.String("bidder", string(bidder)),
@@ -241,7 +251,8 @@ func (m *Market) PriceExcluding(bidder BidderID) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum float64
-	for id, b := range m.bids {
+	for _, id := range m.sortedBiddersLocked() {
+		b := m.bids[id]
 		if id == bidder {
 			continue
 		}
@@ -253,6 +264,19 @@ func (m *Market) PriceExcluding(bidder BidderID) float64 {
 		sum = m.reserve
 	}
 	return sum
+}
+
+// sortedBiddersLocked returns the bidder ids in sorted order. Float sums over
+// the bids must fold in a fixed order: map-order summation perturbs the spot
+// price in the last bit, and the market amplifies that into visibly different
+// traces run over run.
+func (m *Market) sortedBiddersLocked() []BidderID {
+	ids := make([]BidderID, 0, len(m.bids))
+	for id := range m.bids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Shares returns the allocation as of the last reallocation, sorted by
@@ -282,8 +306,8 @@ func (m *Market) Bidders() int {
 
 func (m *Market) totalRateLocked() float64 {
 	var sum float64
-	for _, b := range m.bids {
-		if b.remaining > 0 {
+	for _, id := range m.sortedBiddersLocked() {
+		if b := m.bids[id]; b.remaining > 0 {
 			sum += b.rate
 		}
 	}
@@ -339,7 +363,7 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 	m.priceGauge.Set(price)
 	// Hot path: with no active scope (the common case — ticks run from the
 	// engine pump) this is a single atomic load and a nil check.
-	if s := tracing.Default().Current(); s.Recording() {
+	if s := m.tracer.Current(); s.Recording() {
 		s.AddEventAt(now, "auction.clear",
 			tracing.String("host", m.hostID),
 			tracing.String("price", fmt.Sprintf("%.6f", price)),

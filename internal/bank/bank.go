@@ -131,6 +131,7 @@ type Bank struct {
 	ledger    []Entry
 	seq       uint64
 	ledgerCap int // 0 = unbounded
+	tracer    *tracing.Tracer
 }
 
 // Option customizes a Bank.
@@ -144,6 +145,17 @@ func WithLedgerRetention(n int) Option {
 	return func(b *Bank) { b.ledgerCap = n }
 }
 
+// WithTracer makes the bank read its active job scope from t instead of the
+// process-wide tracing.Default(). Replicated experiments give each world its
+// own tracer so concurrent worlds never observe each other's scopes.
+func WithTracer(t *tracing.Tracer) Option {
+	return func(b *Bank) {
+		if t != nil {
+			b.tracer = t
+		}
+	}
+}
+
 // New creates a bank whose receipts are signed by identity id.
 func New(id *pki.Identity, clock sim.Clock, opts ...Option) *Bank {
 	if clock == nil {
@@ -154,6 +166,7 @@ func New(id *pki.Identity, clock sim.Clock, opts ...Option) *Bank {
 		clock:    clock,
 		accounts: make(map[AccountID]*Account),
 		nonces:   make(map[string]bool),
+		tracer:   tracing.Default(),
 	}
 	for _, o := range opts {
 		o(b)
@@ -349,7 +362,7 @@ func (b *Bank) appendEntry(kind EntryKind, from, to AccountID, amount Amount, me
 	})
 	// Money moves executed inside a job scope (funding, refunds, boosts) show
 	// up on that job's timeline — the GridBank-style per-job accounting trail.
-	if s := tracing.Default().Current(); s.Recording() {
+	if s := b.tracer.Current(); s.Recording() {
 		s.AddEventAt(b.clock.Now(), "bank."+string(kind),
 			tracing.String("from", string(from)),
 			tracing.String("to", string(to)),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -34,6 +35,44 @@ func writeCSV(w io.Writer, header []string, rows [][]float64) error {
 				}
 			}
 			if _, err := io.WriteString(w, strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeNamedCSV writes a table whose first column is a label and whose
+// remaining columns are float64 values.
+func writeNamedCSV(w io.Writer, header []string, names []string, rows [][]float64) error {
+	if len(names) != len(rows) {
+		return fmt.Errorf("experiment: csv has %d names for %d rows", len(names), len(rows))
+	}
+	for i, h := range header {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, h); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for r, row := range rows {
+		if len(row) != len(header)-1 {
+			return fmt.Errorf("experiment: csv row has %d fields, header %d", len(row)+1, len(header))
+		}
+		if _, err := io.WriteString(w, names[r]); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := io.WriteString(w, ","+strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
 				return err
 			}
 		}
@@ -120,6 +159,65 @@ func (r *Figure7Result) WriteCSV(dir string) error {
 		}
 	}
 	return writeCSVFile(dir, "figure7.csv", header, rows)
+}
+
+// SummaryCSV renders the per-metric mean/stddev/CI table. The bytes are a
+// pure function of the aggregate, which Replicate computes in seed order —
+// so the rendering is identical for every worker count.
+func (a *Aggregate) SummaryCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	header := []string{"metric", "mean", "stddev", "ci95_half", "reps"}
+	rows := make([][]float64, len(a.Cols))
+	n := float64(len(a.PerRep))
+	for c := range a.Cols {
+		rows[c] = []float64{a.Mean[c], a.StdDev[c], a.CI95[c], n}
+	}
+	if err := writeNamedCSV(&buf, header, a.Cols, rows); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PerRepCSV renders one row per replication: rep index, seed (exact int64,
+// not a rounded float), then every metric column.
+func (a *Aggregate) PerRepCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("rep,seed")
+	for _, c := range a.Cols {
+		buf.WriteString("," + c)
+	}
+	buf.WriteByte('\n')
+	for i, rep := range a.PerRep {
+		if len(rep) != len(a.Cols) {
+			return nil, fmt.Errorf("experiment: replication %d has %d values for %d columns", i, len(rep), len(a.Cols))
+		}
+		buf.WriteString(strconv.Itoa(i))
+		buf.WriteString("," + strconv.FormatInt(a.Seeds[i], 10))
+		for _, v := range rep {
+			buf.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteCSV exports <name>_summary.csv and <name>_reps.csv into dir.
+func (a *Aggregate) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sum, err := a.SummaryCSV()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, a.Name+"_summary.csv"), sum, 0o644); err != nil {
+		return err
+	}
+	reps, err := a.PerRepCSV()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, a.Name+"_reps.csv"), reps, 0o644)
 }
 
 // WriteCSV exports a table result (Table 1 or 2) as <name>.csv.

@@ -37,6 +37,100 @@ func TestMoneyConservedAcrossRandomWorkloads(t *testing.T) {
 	}
 }
 
+// TestInvariantsAcrossReplications pushes the economic invariants through
+// the replication runner: every independently-seeded copy of the ablation
+// workloads must conserve the bank's total money, finish with every broker
+// escrow sub-account drained, and never drive an account negative — with the
+// worlds running concurrently on the worker pool.
+func TestInvariantsAcrossReplications(t *testing.T) {
+	// Ablation A workload: the market side of the scheduler comparison,
+	// run to completion so escrow must be fully unwound.
+	table := shrunkTableParams()
+	tableSpec := RepSpec{
+		Name: "invariants-ablation-scheduler",
+		Cols: []string{"money_delta", "undrained_subaccounts", "negative_accounts"},
+		Run: func(seed int64) ([]float64, error) {
+			p := table
+			p.World.Seed = seed
+			p.World.Tracer = quietTracer()
+			w, err := NewWorld(p.World)
+			if err != nil {
+				return nil, err
+			}
+			for i, u := range w.Users {
+				if _, err := w.SubmitApp(u, p.Budgets[i], p.Deadline, p.SubJobs, p.ChunkMinutes, p.MaxNodes); err != nil {
+					return nil, err
+				}
+			}
+			w.Engine.RunFor(p.Horizon)
+			deposited := bank.Amount(p.World.Users) * p.World.GrantPerUser
+			delta := float64(w.Bank.TotalMoney() - deposited)
+			var undrained, negative float64
+			for _, id := range w.Bank.Accounts() {
+				a, err := w.Bank.Lookup(id)
+				if err != nil {
+					return nil, err
+				}
+				if a.Parent == "broker" && a.Balance != 0 {
+					undrained++
+				}
+				if a.Balance < 0 {
+					negative++
+				}
+			}
+			return []float64{delta, undrained, negative}, nil
+		},
+	}
+	// Ablation C workload: the load scenario behind the smoothing ablation.
+	// Jobs may still be in flight at the horizon, so escrow can legitimately
+	// hold money — assert conservation and non-negativity only.
+	load := shrunkFigure4Params().Load
+	loadSpec := RepSpec{
+		Name: "invariants-ablation-smoothing",
+		Cols: []string{"money_delta", "negative_accounts"},
+		Run: func(seed int64) ([]float64, error) {
+			p := load
+			p.World.Seed = seed
+			p.World.Tracer = quietTracer()
+			res, err := RunLoad(p)
+			if err != nil {
+				return nil, err
+			}
+			deposited := bank.Amount(p.World.Users) * p.World.GrantPerUser
+			delta := float64(res.World.Bank.TotalMoney() - deposited)
+			var negative float64
+			for _, id := range res.World.Bank.Accounts() {
+				a, err := res.World.Bank.Lookup(id)
+				if err != nil {
+					return nil, err
+				}
+				if a.Balance < 0 {
+					negative++
+				}
+			}
+			return []float64{delta, negative}, nil
+		},
+	}
+	for _, spec := range []RepSpec{tableSpec, loadSpec} {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			agg, err := Replicate(spec, ReplicationConfig{Reps: 4, Parallel: 4, BaseSeed: 2006})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, rep := range agg.PerRep {
+				for c, v := range rep {
+					if v != 0 {
+						t.Errorf("replication %d (seed %d): %s = %v, want 0",
+							i, agg.Seeds[i], agg.Cols[c], v)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAllBudgetsAccountedFor checks the finer-grained flow on a completed
 // Table run: every user's spend equals charges to hosts plus refunds held at
 // the broker.

@@ -19,6 +19,7 @@ import (
 	"tycoongrid/internal/sls"
 	"tycoongrid/internal/token"
 	"tycoongrid/internal/trace"
+	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/workload"
 	"tycoongrid/internal/xrsl"
 )
@@ -32,6 +33,7 @@ type World struct {
 	Agent    *agent.Agent
 	Registry *sls.Registry
 	Recorder *trace.Recorder
+	Tracer   *tracing.Tracer
 	Users    []*GridUser
 	src      *rng.Source
 	nonce    int
@@ -60,6 +62,10 @@ type WorldConfig struct {
 	CreateOverhead  time.Duration
 	InstallOverhead time.Duration
 	VirtOverhead    float64
+	// Tracer scopes every span this world's services emit. Nil means the
+	// process-wide tracing.Default(); replication workers inject a private
+	// (and usually unsampled) tracer so concurrent worlds share nothing.
+	Tracer *tracing.Tracer
 }
 
 // PaperWorld returns the paper's §5.2 setup: 30 dual-processor hosts, five
@@ -84,6 +90,10 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	eng := sim.NewEngine()
 	src := rng.New(cfg.Seed)
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = tracing.Default()
+	}
 	ca, err := pki.NewDeterministicCA("/O=Grid/CN=TycoonCA", seed32(src), pki.WithTimeSource(eng.Now))
 	if err != nil {
 		return nil, err
@@ -98,7 +108,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	// Long simulations generate millions of 10-second micro-charges; keep a
 	// bounded audit window rather than the full ledger.
-	b := bank.New(bankID, eng, bank.WithLedgerRetention(100_000))
+	b := bank.New(bankID, eng, bank.WithLedgerRetention(100_000), bank.WithTracer(tr))
 	if _, err := b.CreateAccount("broker", brokerID.Public()); err != nil {
 		return nil, err
 	}
@@ -120,6 +130,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Hosts:        specs,
 		ReservePrice: cfg.ReservePrice,
 		Interval:     cfg.Interval,
+		Tracer:       tr,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +166,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	ag, err := agent.New(agent.Config{
 		Cluster: cluster, Bank: b, Identity: brokerID, Account: "broker", Verifier: verifier,
+		Tracer: tr,
 	})
 	if err != nil {
 		return nil, err
@@ -162,7 +174,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 
 	w := &World{
 		Engine: eng, CA: ca, Bank: b, Cluster: cluster, Agent: ag,
-		Registry: reg, Recorder: rec, src: src,
+		Registry: reg, Recorder: rec, Tracer: tr, src: src,
 	}
 	for i := 0; i < cfg.Users; i++ {
 		name := fmt.Sprintf("user%d", i+1)

@@ -82,6 +82,11 @@ type Config struct {
 	// hibernation model that could increase this number further" (§3),
 	// freeing slots for other users at the price of a fresh boot later.
 	PurgeIdleAfter time.Duration
+	// Tracer supplies the active job scope for timeline events; it is also
+	// handed to every host market. Nil means tracing.Default(). Replicated
+	// experiments inject a per-world tracer so concurrent worlds never share
+	// scope stacks.
+	Tracer *tracing.Tracer
 }
 
 // Cluster is the simulated Tycoon network.
@@ -92,6 +97,7 @@ type Cluster struct {
 	hosts    map[string]*Host
 	order    []string // deterministic host iteration order
 	taskSeq  int
+	tracer   *tracing.Tracer
 
 	// OnCharge and OnRefund, when set, observe every market charge/refund;
 	// the agent layer uses them to move real bank money.
@@ -135,11 +141,16 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 	if interval <= 0 {
 		interval = auction.DefaultInterval
 	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = tracing.Default()
+	}
 	c := &Cluster{
 		engine:   engine,
 		interval: interval,
 		purge:    cfg.PurgeIdleAfter,
 		hosts:    make(map[string]*Host, len(cfg.Hosts)),
+		tracer:   tr,
 	}
 	for _, spec := range cfg.Hosts {
 		if spec.ID == "" || spec.CPUs < 1 || spec.CPUMHz <= 0 {
@@ -166,6 +177,7 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 			CapacityMHz:  vmm.EffectiveCapacity(spec.CPUMHz * float64(spec.CPUs)),
 			ReservePrice: cfg.ReservePrice,
 			Start:        engine.Now(),
+			Tracer:       tr,
 		})
 		if err != nil {
 			return nil, err
@@ -282,7 +294,7 @@ func (c *Cluster) StartTask(hostID string, owner auction.BidderID, envs []string
 	mTasksStarted.Inc()
 	// VM acquisition inside a job scope lands on that job's timeline: which
 	// machine the chunk got and when it becomes ready.
-	if s := tracing.Default().Current(); s.Recording() {
+	if s := c.tracer.Current(); s.Recording() {
 		s.AddEventAt(c.engine.Now(), "grid.vm-acquire",
 			tracing.String("host", hostID),
 			tracing.String("vm", machine.ID),

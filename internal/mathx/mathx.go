@@ -84,6 +84,126 @@ func acklam(p float64) float64 {
 	}
 }
 
+// StudentTQuantile returns the inverse CDF of Student's t distribution with
+// df degrees of freedom at probability p in (0, 1) — the critical value
+// behind the replication runner's confidence intervals. df = 1 and df = 2
+// use the closed forms; larger df start from the Cornish-Fisher expansion
+// around the normal quantile (Abramowitz & Stegun 26.7.5) and polish with
+// Newton steps on the exact CDF. It panics on p outside (0, 1) or df < 1;
+// callers validate user input first.
+func StudentTQuantile(p float64, df int) float64 {
+	if !(p > 0 && p < 1) {
+		panic("mathx: StudentTQuantile requires 0 < p < 1")
+	}
+	if df < 1 {
+		panic("mathx: StudentTQuantile requires df >= 1")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	switch df {
+	case 1: // Cauchy
+		return math.Tan(math.Pi * (p - 0.5))
+	case 2:
+		a := 2*p - 1
+		return a * math.Sqrt2 / math.Sqrt(1-a*a)
+	}
+	z := NormalQuantile(p)
+	v := float64(df)
+	z2 := z * z
+	t := z +
+		z*(z2+1)/(4*v) +
+		z*(5*z2*z2+16*z2+3)/(96*v*v) +
+		z*(3*z2*z2*z2+19*z2*z2+17*z2-15)/(384*v*v*v) +
+		z*(79*z2*z2*z2*z2+776*z2*z2*z2+1482*z2*z2-1920*z2-945)/(92160*v*v*v*v)
+	for i := 0; i < 3; i++ {
+		d := studentTPDF(t, v)
+		if d == 0 {
+			break
+		}
+		t -= (studentTCDF(t, v) - p) / d
+	}
+	return t
+}
+
+func studentTPDF(x, v float64) float64 {
+	lg1, _ := math.Lgamma((v + 1) / 2)
+	lg2, _ := math.Lgamma(v / 2)
+	return math.Exp(lg1 - lg2 - 0.5*math.Log(v*math.Pi) - (v+1)/2*math.Log1p(x*x/v))
+}
+
+func studentTCDF(x, v float64) float64 {
+	ib := regIncBeta(v/2, 0.5, v/(v+x*x))
+	if x >= 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// regIncBeta is the regularized incomplete beta function I_x(a, b),
+// evaluated with the modified Lentz continued fraction.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	bt := math.Exp(lab - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return bt * betaCF(a, b, x) / a
+	}
+	return 1 - bt*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		eps  = 3e-16
+		tiny = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= 200; m++ {
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
 // ErrNoBracket is returned by Bisect when f(lo) and f(hi) have the same sign.
 var ErrNoBracket = errors.New("mathx: root not bracketed")
 

@@ -227,3 +227,60 @@ func BenchmarkNormalQuantile(b *testing.B) {
 		_ = NormalQuantile(0.9)
 	}
 }
+
+func TestStudentTQuantileKnownValues(t *testing.T) {
+	// Two-sided 95% critical values t_{0.975,df} from standard tables.
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706205},
+		{2, 4.302653},
+		{3, 3.182446},
+		{5, 2.570582},
+		{7, 2.364624},
+		{10, 2.228139},
+		{30, 2.042272},
+		{120, 1.979930},
+	}
+	for _, c := range cases {
+		if got := StudentTQuantile(0.975, c.df); !AlmostEqual(got, c.want, 1e-4) {
+			t.Errorf("StudentTQuantile(0.975, %d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Off-center probability, exact median, and symmetry.
+	if got := StudentTQuantile(0.6, 5); !AlmostEqual(got, 0.267181, 1e-4) {
+		t.Errorf("StudentTQuantile(0.6, 5) = %v", got)
+	}
+	for _, df := range []int{1, 2, 4, 9, 50} {
+		if got := StudentTQuantile(0.5, df); got != 0 {
+			t.Errorf("median quantile df=%d: %v, want 0", df, got)
+		}
+		lo, hi := StudentTQuantile(0.1, df), StudentTQuantile(0.9, df)
+		if !AlmostEqual(lo, -hi, 1e-9) {
+			t.Errorf("df=%d not symmetric: %v vs %v", df, lo, hi)
+		}
+	}
+	// Large df converges to the normal quantile.
+	if n, s := NormalQuantile(0.975), StudentTQuantile(0.975, 100000); !AlmostEqual(n, s, 1e-3) {
+		t.Errorf("large-df t %v should approach normal %v", s, n)
+	}
+}
+
+func TestStudentTQuantilePanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { StudentTQuantile(0, 5) },
+		func() { StudentTQuantile(1, 5) },
+		func() { StudentTQuantile(-0.1, 5) },
+		func() { StudentTQuantile(0.9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-domain input")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -51,7 +51,12 @@ func FitAR(xs []float64, k int) (*ARModel, error) {
 		return nil, fmt.Errorf("predict: series length %d too short for AR(%d)", len(xs), k)
 	}
 	var mu float64
-	for _, x := range xs {
+	for i, x := range xs {
+		// A single NaN or Inf silently poisons every autocorrelation and the
+		// Toeplitz solve downstream; reject it at the door.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("predict: non-finite value %v at index %d", x, i)
+		}
 		mu += x
 	}
 	mu /= float64(len(xs))

@@ -1,0 +1,144 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFitAREdgeCases drives the AR fit through the degenerate series the
+// live market can produce: flat reserve-price stretches, near-flat windows,
+// too-short histories, and traces poisoned by non-finite values.
+func TestFitAREdgeCases(t *testing.T) {
+	constant := make([]float64, 40)
+	for i := range constant {
+		constant[i] = 0.25
+	}
+	nearConstant := make([]float64, 40)
+	for i := range nearConstant {
+		nearConstant[i] = 0.25 + 1e-12*float64(i%3)
+	}
+	ramp := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+	poison := func(v float64) []float64 {
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		xs[7] = v
+		return xs
+	}
+
+	cases := []struct {
+		name    string
+		xs      []float64
+		order   int
+		wantErr bool
+		// check runs extra assertions on a successful fit.
+		check func(t *testing.T, m *ARModel)
+	}{
+		{
+			name: "constant series predicts the mean", xs: constant, order: 6,
+			check: func(t *testing.T, m *ARModel) {
+				if m.Mu != 0.25 {
+					t.Errorf("Mu = %v, want 0.25", m.Mu)
+				}
+				for j, a := range m.Coeffs {
+					if a != 0 {
+						t.Errorf("coeff %d = %v, want 0", j, a)
+					}
+				}
+				fc, err := m.Forecast(constant, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range fc {
+					if v != 0.25 {
+						t.Errorf("forecast %v, want 0.25", v)
+					}
+				}
+			},
+		},
+		{
+			name: "near-constant series stays finite", xs: nearConstant, order: 4,
+			check: func(t *testing.T, m *ARModel) {
+				fc, err := m.Forecast(nearConstant, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range fc {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("forecast diverged: %v", fc)
+					}
+				}
+			},
+		},
+		{name: "series shorter than 2k+1", xs: ramp[:8], order: 4, wantErr: true},
+		{name: "series exactly 2k+1", xs: ramp[:9], order: 4},
+		{name: "order below one", xs: ramp, order: 0, wantErr: true},
+		{name: "NaN rejected", xs: poison(math.NaN()), order: 3, wantErr: true},
+		{name: "+Inf rejected", xs: poison(math.Inf(1)), order: 3, wantErr: true},
+		{name: "-Inf rejected", xs: poison(math.Inf(-1)), order: 3, wantErr: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := FitAR(tc.xs, tc.order)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("FitAR accepted %s", tc.name)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FitAR: %v", err)
+			}
+			for j, a := range m.Coeffs {
+				if math.IsNaN(a) || math.IsInf(a, 0) {
+					t.Fatalf("coeff %d non-finite: %v", j, a)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, m)
+			}
+		})
+	}
+}
+
+// TestNormalPredictorZeroVariance pins the stateless normal model on a host
+// whose price never moved: every guarantee level must collapse to the same
+// deterministic price and capacity.
+func TestNormalPredictorZeroVariance(t *testing.T) {
+	h := HostPrice{HostID: "h00", Preference: 5600, Mu: 0.01, Sigma: 0}
+	for _, p := range []float64{0.01, 0.5, 0.80, 0.90, 0.99} {
+		y, err := h.QuantilePrice(p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if y != h.Mu {
+			t.Errorf("p=%v: quantile price %v, want mu %v", p, y, h.Mu)
+		}
+		c, err := GuaranteedCapacityMHz(h, 0.02, p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		want := h.Preference * 0.02 / (0.02 + h.Mu)
+		if math.Abs(c-want) > 1e-9 {
+			t.Errorf("p=%v: capacity %v, want %v", p, c, want)
+		}
+	}
+	// Invalid inputs stay rejected in the degenerate case too.
+	if _, err := h.QuantilePrice(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := h.QuantilePrice(1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	neg := h
+	neg.Sigma = -0.1
+	if _, err := neg.QuantilePrice(0.9); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := GuaranteedCapacityMHz(h, 0, 0.9); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

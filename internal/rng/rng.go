@@ -29,6 +29,32 @@ func (s *Source) Split() *Source {
 	return New(s.r.Int63())
 }
 
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14):
+// a bijective avalanche mix whose outputs pass BigCrush even on sequential
+// inputs, which is exactly the replication-seed use case.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps (base, index) to an independent replication seed. Unlike
+// Split it is stateless: replication i's seed depends only on the base seed
+// and i, so a parallel worker pool can seed replications in any execution
+// order and still reproduce the exact streams of a serial run. Results are
+// non-negative so they survive round trips through flag parsing and CSV.
+func DeriveSeed(base int64, index uint64) int64 {
+	z := splitmix64(uint64(base) ^ splitmix64(index+0x632be59bd9b4e019))
+	return int64(z >> 1) // clear the sign bit
+}
+
+// NewReplica returns a Source for replication index of a base-seeded
+// experiment family, via DeriveSeed.
+func NewReplica(base int64, index uint64) *Source {
+	return New(DeriveSeed(base, index))
+}
+
 // Float64 returns a uniform draw in [0, 1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

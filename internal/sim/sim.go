@@ -27,13 +27,16 @@ func (WallClock) Now() time.Time { return time.Now() }
 // Epoch is the virtual time origin of every simulation.
 var Epoch = time.Date(2006, time.June, 19, 0, 0, 0, 0, time.UTC) // HPDC'06 week
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: after firing (or being
+// popped as cancelled) the struct returns to the engine's free list and its
+// generation is bumped, so stale Handles can no longer touch it.
 type event struct {
 	at  time.Time
 	seq uint64 // tie-breaker: FIFO among simultaneous events
 	fn  func()
 	idx int
-	off bool // cancelled
+	gen uint64 // incremented on recycle; Handles bind to a generation
+	off bool   // cancelled
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -66,23 +69,65 @@ func (q *eventQueue) Pop() any {
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
-// concurrent use; simulations are deterministic by construction.
+// concurrent use; simulations are deterministic by construction. Distinct
+// engines share nothing, so independent replications may run concurrently.
 type Engine struct {
 	now   time.Time
 	queue eventQueue
 	seq   uint64
 	steps uint64
+	free  []*event // recycled events, reused by At/After
+}
+
+// defaultEventCapacity pre-sizes the heap and free list: a paper-scale world
+// keeps a few hundred events in flight (one ticker per market plus task
+// completions), so starting here avoids the append-doubling walk on every
+// fresh replication.
+const defaultEventCapacity = 256
+
+func newEngine(start time.Time) *Engine {
+	e := &Engine{
+		now:   start,
+		queue: make(eventQueue, 0, defaultEventCapacity),
+		free:  make([]*event, 0, defaultEventCapacity),
+	}
+	// One contiguous slab instead of per-event allocations.
+	slab := make([]event, defaultEventCapacity)
+	for i := range slab {
+		e.free = append(e.free, &slab[i])
+	}
+	return e
 }
 
 // NewEngine returns an engine whose clock starts at Epoch.
 func NewEngine() *Engine {
-	return &Engine{now: Epoch}
+	return newEngine(Epoch)
 }
 
 // NewEngineAt returns an engine starting at the given instant — used by
 // daemons that drive a simulation engine along the wall clock.
 func NewEngineAt(start time.Time) *Engine {
-	return &Engine{now: start}
+	return newEngine(start)
+}
+
+// alloc takes an event from the free list, growing it when empty.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle bumps the event's generation (invalidating outstanding Handles),
+// drops the callback so captured state can be collected, and returns the
+// struct to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.off = false
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current virtual time, satisfying Clock.
@@ -105,13 +150,18 @@ func (e *Engine) Pending() int {
 	return n
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so it can be cancelled. The handle
+// remembers the event's generation, so one that outlives its event (which
+// may have been recycled for a new schedule) cancels nothing.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.off = true
 	}
 }
@@ -124,10 +174,11 @@ func (e *Engine) At(t time.Time, fn func()) (Handle, error) {
 	if t.Before(e.now) {
 		return Handle{}, ErrPastEvent
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return Handle{ev: ev}, nil
+	return Handle{ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn d from now. Negative d is an error.
@@ -186,11 +237,16 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.off {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.steps++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: the callback's own rescheduling can then
+		// reuse the slot, and the generation bump shields stale Handles.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -203,7 +259,7 @@ func (e *Engine) RunUntil(t time.Time) {
 		// Peek.
 		next := e.queue[0]
 		if next.off {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		if next.at.After(t) {

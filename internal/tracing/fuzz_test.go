@@ -1,0 +1,59 @@
+package tracing
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent checks the header decoder never panics, only accepts
+// contexts that are valid, and that anything it accepts survives a
+// format -> re-parse round trip with the identical SpanContext. The decoder
+// normalizes on the way in (case, surrounding whitespace, extra flag bits),
+// so the round trip is on the decoded value, not the wire bytes.
+func FuzzParseTraceparent(f *testing.F) {
+	seeds := []string{
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+		"00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+		"  00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01  ",
+		"cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",
+		"",
+		"traceparent",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		sc, ok := ParseTraceparent(in)
+		if !ok {
+			if sc != (SpanContext{}) {
+				t.Fatalf("rejected input %q returned non-zero context %+v", in, sc)
+			}
+			return // rejection is fine; panics are not
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted input %q decoded to invalid context %+v", in, sc)
+		}
+		out := FormatTraceparent(sc)
+		if out == "" {
+			t.Fatalf("valid context from %q failed to format: %+v", in, sc)
+		}
+		if len(out) != tpTotalLen || strings.ToLower(out) != out {
+			t.Fatalf("formatted header %q is not canonical", out)
+		}
+		sc2, ok := ParseTraceparent(out)
+		if !ok {
+			t.Fatalf("formatted header rejected: %q -> %q", in, out)
+		}
+		if sc2 != sc {
+			t.Fatalf("round trip changed context: %+v vs %+v", sc, sc2)
+		}
+	})
+}
