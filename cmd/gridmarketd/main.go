@@ -48,6 +48,11 @@ func main() {
 	speedup := flag.Float64("speedup", 60, "simulated seconds per wall second")
 	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	partitions := flag.Int("partitions", 1,
+		"agent partitions under the meta-scheduler (1 = single agent; hosts must divide evenly)")
+	strategyName := flag.String("strategy", "",
+		"meta-scheduler matchmaking strategy: current-price|predicted-mean|predicted-quantile|portfolio")
+	horizon := flag.Duration("horizon", 30*time.Minute, "forecast horizon for prediction strategies")
 	flag.Parse()
 	tracing.InitSlog("gridmarketd", os.Stderr, slog.LevelInfo)
 	if *speedup <= 0 {
@@ -62,12 +67,15 @@ func main() {
 	cfg.CPUMHz = *mhz
 	cfg.Interval = *interval
 	cfg.Start = time.Now()
+	cfg.Partitions = *partitions
+	cfg.Strategy = *strategyName
+	cfg.Horizon = *horizon
 	b, err := box.New(cfg)
 	if err != nil {
 		slog.Error("gridmarketd: box construction failed", "err", err)
 		os.Exit(1)
 	}
-	jobs, err := httpapi.NewJobService(b.Manager, b.Engine)
+	jobs, err := httpapi.NewJobService(b.Scheduler(), b.Engine)
 	if err != nil {
 		slog.Error("gridmarketd: job service construction failed", "err", err)
 		os.Exit(1)

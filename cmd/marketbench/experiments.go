@@ -2,18 +2,39 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"tycoongrid/internal/experiment"
 )
 
+// strategiesParams applies the -strategy / -horizon flags on top of the
+// experiment's defaults.
+func strategiesParams(strat string, horizon time.Duration) experiment.StrategiesParams {
+	p := experiment.DefaultStrategiesParams()
+	if strat != "" && strat != "all" {
+		p.Strategies = strings.Split(strat, ",")
+	}
+	if horizon > 0 {
+		p.Horizon = horizon
+	}
+	return p
+}
+
 // runReplicated runs an experiment's replication spec across a worker pool
 // and returns the aggregate table. Experiments without a spec (deterministic
 // sweeps) fall back to a single run.
-func runReplicated(name string, seed int64, csvDir string, reps, parallel int) (string, error) {
-	spec, err := experiment.DefaultRepSpec(name)
+func runReplicated(name string, seed int64, csvDir string, reps, parallel int, strat string, horizon time.Duration) (string, error) {
+	var spec experiment.RepSpec
+	var err error
+	if name == "strategies" {
+		// Honor the strategy/horizon flags rather than the stock spec.
+		spec = experiment.RepSpecStrategies(strategiesParams(strat, horizon))
+	} else {
+		spec, err = experiment.DefaultRepSpec(name)
+	}
 	if err != nil {
-		out, err := runExperiment(name, seed, csvDir)
+		out, err := runExperiment(name, seed, csvDir, strat, horizon)
 		if err != nil {
 			return "", err
 		}
@@ -35,8 +56,21 @@ func runReplicated(name string, seed int64, csvDir string, reps, parallel int) (
 
 // runExperiment dispatches one named experiment with the given seed and
 // returns its printable result.
-func runExperiment(name string, seed int64, csvDir string) (string, error) {
+func runExperiment(name string, seed int64, csvDir string, strat string, horizon time.Duration) (string, error) {
 	switch name {
+	case "strategies":
+		p := strategiesParams(strat, horizon)
+		p.World.Seed = seed
+		res, err := experiment.RunStrategies(p)
+		if err != nil {
+			return "", err
+		}
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return "", err
+			}
+		}
+		return "Matchmaking strategy comparison on a bursty/steady partitioned grid\n" + res.String(), nil
 	case "table1":
 		p := experiment.Table1Params()
 		p.World.Seed = seed

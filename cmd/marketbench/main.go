@@ -32,18 +32,27 @@ import (
 
 func main() {
 	run := flag.String("run", "all",
-		"experiment: all|table1|table2|figure3|...|figure7|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
+		"experiment: all|table1|table2|figure3|...|figure7|strategies|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
+	experimentAlias := flag.String("experiment", "", "alias for -run")
 	seed := flag.Int64("seed", 2006, "RNG seed for all experiments")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files (optional)")
 	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
 	reps := flag.Int("reps", 1, "independent replications per experiment (1 = single run)")
 	parallel := flag.Int("parallel", 0, "replication workers; 0 = GOMAXPROCS (output is identical for any value)")
+	strat := flag.String("strategy", "",
+		"strategies experiment: comma-separated matchmaking strategies to compare (default all registered)")
+	horizon := flag.Duration("horizon", 0,
+		"strategies experiment: forecast horizon (0 = experiment default)")
 	flag.Parse()
+	if *experimentAlias != "" {
+		run = experimentAlias
+	}
 	tracing.InitSlog("marketbench", os.Stderr, slog.LevelWarn)
 	tracing.Default().SetSampleRatio(*traceRatio)
 
 	names := []string{
 		"table1", "table2", "figure3", "figure4", "figure5", "figure6", "figure7",
+		"strategies",
 		"ablation-scheduler", "ablation-cap", "ablation-smoothing", "ablation-interval",
 		"sla",
 	}
@@ -69,9 +78,9 @@ func main() {
 		var out string
 		var err error
 		if *reps > 1 {
-			out, err = runReplicated(name, *seed, *csvDir, *reps, *parallel)
+			out, err = runReplicated(name, *seed, *csvDir, *reps, *parallel, *strat, *horizon)
 		} else {
-			out, err = runExperiment(name, *seed, *csvDir)
+			out, err = runExperiment(name, *seed, *csvDir, *strat, *horizon)
 		}
 		release()
 		if err != nil {

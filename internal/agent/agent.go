@@ -19,7 +19,9 @@ import (
 	"tycoongrid/internal/core"
 	"tycoongrid/internal/grid"
 	"tycoongrid/internal/pki"
+	"tycoongrid/internal/pricefeed"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/strategy"
 	"tycoongrid/internal/token"
 	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/xrsl"
@@ -179,6 +181,19 @@ type Config struct {
 	// experiments give each world its own tracer so concurrently running
 	// worlds never share a scope stack.
 	Tracer *tracing.Tracer
+	// JobIDPrefix names this agent's jobs ("<prefix>-0001", ...). Partitioned
+	// deployments sharing one broker account must use distinct prefixes so
+	// their job sub-accounts never collide. Empty means "job", preserving the
+	// historical single-agent IDs.
+	JobIDPrefix string
+	// FeedCapacity bounds the per-host price-history ring the agent records
+	// from the auction clears. 0 means pricefeed.DefaultCapacity.
+	FeedCapacity int
+	// BidSplit, when set, is consulted before Best Response: if it accepts
+	// (returns allocations), the job's budget is split by its weights instead
+	// of the KKT solution — the paper's §4.4 portfolio bidding. On decline
+	// (nil, nil) or error the agent falls back to Best Response.
+	BidSplit strategy.BidSplitter
 }
 
 // Agent is the broker-side scheduler. Not safe for concurrent use; it runs
@@ -190,6 +205,7 @@ type Agent struct {
 	seq      int
 	earnings bank.AccountID
 	pump     *sim.Ticker
+	feed     *pricefeed.Hub
 }
 
 // Errors returned by the agent.
@@ -214,10 +230,27 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = tracing.Default()
 	}
+	if cfg.JobIDPrefix == "" {
+		cfg.JobIDPrefix = "job"
+	}
+	if cfg.FeedCapacity <= 0 {
+		cfg.FeedCapacity = pricefeed.DefaultCapacity
+	}
 	a := &Agent{
 		cfg:      cfg,
 		jobs:     make(map[string]*Job),
 		byBidder: make(map[auction.BidderID]*Job),
+		feed:     pricefeed.NewHub(cfg.FeedCapacity),
+	}
+	// Record every auction clear of this agent's partition into the price
+	// feed; the histories drive the prediction strategies and portfolio bid
+	// splitting.
+	for _, id := range a.hostIDs() {
+		h, err := cfg.Cluster.Host(id)
+		if err != nil {
+			return nil, fmt.Errorf("agent: partition host %q: %w", id, err)
+		}
+		h.Market.Observe(a.feed.Observer(id))
 	}
 	// Route market charges to bank transfers: sub-account -> host earnings.
 	// Chain rather than replace any existing hook, so replicated agents
@@ -310,7 +343,7 @@ func (a *Agent) Submit(tok token.Token, jr *xrsl.JobRequest, chunkWork []float64
 	mTokenRedemptions.Inc()
 
 	a.seq++
-	jobID := fmt.Sprintf("job-%04d", a.seq)
+	jobID := fmt.Sprintf("%s-%04d", a.cfg.JobIDPrefix, a.seq)
 	sub, err := a.cfg.Bank.CreateSubAccount(a.cfg.Account, jobID, a.cfg.Identity.Public())
 	if err != nil {
 		return nil, fmt.Errorf("agent: sub-account: %w", err)
@@ -441,14 +474,26 @@ func (a *Agent) placeBids(job *Job, count int) error {
 		})
 	}
 	budgetRate := job.Budget.Credits() / horizon
-	allocs, err := core.BestResponse(budgetRate, hosts)
-	if err != nil {
-		return fmt.Errorf("agent: best response: %w", err)
+	allocs, split := a.splitBids(job, budgetRate, hosts)
+	if allocs == nil {
+		br, err := core.BestResponse(budgetRate, hosts)
+		if err != nil {
+			return fmt.Errorf("agent: best response: %w", err)
+		}
+		allocs = br
 	}
 	if count > 0 && len(allocs) > count {
-		allocs, err = core.Rebalance(budgetRate, core.TopNByUtility(allocs, count))
-		if err != nil {
-			return fmt.Errorf("agent: rebalance: %w", err)
+		if split {
+			// Keep the portfolio's top-weighted hosts and rescale so the full
+			// budget still follows the weights; Rebalance would re-run Best
+			// Response and discard them.
+			allocs = rescale(core.TopN(allocs, count), budgetRate)
+		} else {
+			rb, err := core.Rebalance(budgetRate, core.TopNByUtility(allocs, count))
+			if err != nil {
+				return fmt.Errorf("agent: rebalance: %w", err)
+			}
+			allocs = rb
 		}
 	}
 	var allocated bank.Amount
@@ -481,6 +526,43 @@ func (a *Agent) placeBids(job *Job, count int) error {
 		return ErrNoBudget
 	}
 	return nil
+}
+
+// splitBids consults the configured BidSplitter, handing it each host's
+// recorded price history. A decline (no splitter, nil result, or error)
+// returns nil allocations and the caller falls back to Best Response.
+func (a *Agent) splitBids(job *Job, budgetRate float64, hosts []core.Host) ([]core.Allocation, bool) {
+	if a.cfg.BidSplit == nil {
+		return nil, false
+	}
+	allocs, err := a.cfg.BidSplit.Split(budgetRate, hosts, func(id string) []float64 {
+		return a.feed.History(id, 0)
+	})
+	if err != nil || len(allocs) == 0 {
+		return nil, false
+	}
+	mBidSplits.Inc()
+	a.event(job, "bid-split",
+		tracing.String("splitter", a.cfg.BidSplit.Name()),
+		tracing.String("hosts", fmt.Sprintf("%d/%d", len(allocs), len(hosts))))
+	return allocs, true
+}
+
+// rescale scales kept allocations so their bids again sum to budgetRate.
+func rescale(allocs []core.Allocation, budgetRate float64) []core.Allocation {
+	var total float64
+	for _, al := range allocs {
+		total += al.Bid
+	}
+	if total <= 0 {
+		return allocs
+	}
+	out := make([]core.Allocation, len(allocs))
+	copy(out, allocs)
+	for i := range out {
+		out[i].Bid *= budgetRate / total
+	}
+	return out
 }
 
 // startChunk pops the next chunk and runs it on host. One concurrent
@@ -895,6 +977,22 @@ func (a *Agent) MeanSpotPrice() float64 {
 	}
 	return sum / float64(n)
 }
+
+// PriceHistory returns the partition's mean spot-price history (oldest
+// first), averaged across this agent's hosts per auction tick. max <= 0
+// returns everything recorded; samples are spaced Cluster().Interval() apart.
+// This is the history a meta-scheduler strategy forecasts from.
+func (a *Agent) PriceHistory(max int) []float64 {
+	return a.feed.MeanHistory(a.hostIDs(), max)
+}
+
+// HostHistory returns one host's recorded spot-price history, oldest first.
+func (a *Agent) HostHistory(hostID string) []float64 {
+	return a.feed.History(hostID, 0)
+}
+
+// Feed exposes the agent's price-feed hub (e.g. for daemon diagnostics).
+func (a *Agent) Feed() *pricefeed.Hub { return a.feed }
 
 // Cluster returns the grid cluster the agent schedules onto.
 func (a *Agent) Cluster() *grid.Cluster { return a.cfg.Cluster }

@@ -1,0 +1,224 @@
+package agent
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/core"
+	"tycoongrid/internal/strategy"
+)
+
+func TestAgentRecordsPriceHistory(t *testing.T) {
+	w := newWorld(t, 2)
+	if h := w.agent.PriceHistory(0); len(h) != 0 {
+		t.Fatalf("history before any tick: %v", h)
+	}
+	if _, err := w.agent.Submit(w.payToken(t, 100), request(2, 5*time.Hour), chunks(4, 30)); err != nil {
+		t.Fatal(err)
+	}
+	w.eng.RunFor(time.Hour)
+
+	hist := w.agent.PriceHistory(0)
+	if len(hist) == 0 {
+		t.Fatal("no price history after an hour of auction ticks")
+	}
+	for i, p := range hist {
+		if p <= 0 || math.IsNaN(p) {
+			t.Fatalf("history[%d] = %v", i, p)
+		}
+	}
+	// Per-host histories exist for every partition host and match in length.
+	for _, id := range w.agent.HostIDs() {
+		hh := w.agent.HostHistory(id)
+		if len(hh) != len(hist) {
+			t.Errorf("host %s history len %d, mean history len %d", id, len(hh), len(hist))
+		}
+	}
+	// max truncates to the tail.
+	if tail := w.agent.PriceHistory(3); len(tail) != 3 {
+		t.Errorf("tail len = %d, want 3", len(tail))
+	}
+	if w.agent.Feed().Rejected() != 0 {
+		t.Errorf("feed rejected %d samples", w.agent.Feed().Rejected())
+	}
+}
+
+func TestAgentJobIDPrefix(t *testing.T) {
+	w := newWorld(t, 2)
+	// A second partitioned agent sharing the broker account must not collide
+	// on sub-account IDs with the default-prefix agent.
+	v := w.agent.cfg.Verifier
+	b, err := New(Config{
+		Cluster:     w.cluster,
+		Bank:        w.bank,
+		Identity:    w.agent.cfg.Identity,
+		Account:     "broker",
+		Verifier:    v,
+		Hosts:       []string{"h01"},
+		JobIDPrefix: "p1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j0, err := w.agent.Submit(w.payToken(t, 50), request(1, 5*time.Hour), chunks(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := b.Submit(w.payToken(t, 50), request(1, 5*time.Hour), chunks(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j0.ID != "job-0001" {
+		t.Errorf("default prefix job ID = %q", j0.ID)
+	}
+	if j1.ID != "p1-0001" {
+		t.Errorf("prefixed job ID = %q", j1.ID)
+	}
+	if j0.SubAccount == j1.SubAccount {
+		t.Errorf("sub-accounts collide: %q", j0.SubAccount)
+	}
+	w.eng.RunFor(2 * time.Hour)
+	if j0.State != StateDone || j1.State != StateDone {
+		t.Errorf("states = %v, %v", j0.State, j1.State)
+	}
+}
+
+// recordingSplitter splits evenly and records the histories it was offered.
+type recordingSplitter struct {
+	calls     int
+	histLens  map[string]int
+	declining bool
+}
+
+func (r *recordingSplitter) Name() string { return "recording" }
+
+func (r *recordingSplitter) Split(budget float64, hosts []core.Host, history func(string) []float64) ([]core.Allocation, error) {
+	r.calls++
+	r.histLens = map[string]int{}
+	for _, h := range hosts {
+		r.histLens[h.ID] = len(history(h.ID))
+	}
+	if r.declining {
+		return nil, nil
+	}
+	w := make([]float64, len(hosts))
+	for i := range w {
+		w[i] = 1
+	}
+	return core.SplitByWeights(budget, hosts, w)
+}
+
+func TestAgentBidSplitPath(t *testing.T) {
+	w := newWorld(t, 2)
+	sp := &recordingSplitter{}
+	v := w.agent.cfg.Verifier
+	a, err := New(Config{
+		Cluster:  w.cluster,
+		Bank:     w.bank,
+		Identity: w.agent.cfg.Identity,
+		Account:  "broker",
+		Verifier: v,
+		BidSplit: sp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eng.RunFor(30 * time.Minute) // accrue some price history first
+	job, err := a.Submit(w.payToken(t, 100), request(2, 5*time.Hour), chunks(4, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.calls != 1 {
+		t.Fatalf("splitter called %d times", sp.calls)
+	}
+	if len(job.Hosts) != 2 {
+		t.Fatalf("even split funded %v, want both hosts", job.Hosts)
+	}
+	for id, n := range sp.histLens {
+		if n == 0 {
+			t.Errorf("splitter saw empty history for %s", id)
+		}
+	}
+	w.eng.RunFor(4 * time.Hour)
+	if job.State != StateDone {
+		t.Fatalf("state = %v (%s)", job.State, job.FailReason)
+	}
+	if job.Charged <= 0 {
+		t.Error("no charges under split bidding")
+	}
+}
+
+func TestAgentBidSplitDeclineFallsBackToBestResponse(t *testing.T) {
+	w := newWorld(t, 2)
+	sp := &recordingSplitter{declining: true}
+	v := w.agent.cfg.Verifier
+	a, err := New(Config{
+		Cluster:  w.cluster,
+		Bank:     w.bank,
+		Identity: w.agent.cfg.Identity,
+		Account:  "broker",
+		Verifier: v,
+		BidSplit: sp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := a.Submit(w.payToken(t, 100), request(2, 5*time.Hour), chunks(4, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.calls != 1 {
+		t.Fatalf("splitter called %d times", sp.calls)
+	}
+	if len(job.Hosts) == 0 {
+		t.Fatal("fallback Best Response funded no hosts")
+	}
+	w.eng.RunFor(4 * time.Hour)
+	if job.State != StateDone {
+		t.Fatalf("state = %v (%s)", job.State, job.FailReason)
+	}
+}
+
+func TestAgentPortfolioSplitterEndToEnd(t *testing.T) {
+	w := newWorld(t, 3)
+	v := w.agent.cfg.Verifier
+	a, err := New(Config{
+		Cluster:  w.cluster,
+		Bank:     w.bank,
+		Identity: w.agent.cfg.Identity,
+		Account:  "broker",
+		Verifier: v,
+		BidSplit: strategy.NewPortfolioSplitter(4),
+		// Shares the broker account with w.agent: distinct prefix required.
+		JobIDPrefix: "pf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disturb prices so per-host histories are not all identical: keep a
+	// background job bidding on one host via the original agent.
+	if _, err := w.agent.Submit(w.payToken(t, 200), request(1, 10*time.Hour), chunks(6, 45)); err != nil {
+		t.Fatal(err)
+	}
+	w.eng.RunFor(2 * time.Hour)
+	job, err := a.Submit(w.payToken(t, 100), request(3, 6*time.Hour), chunks(6, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.eng.RunFor(5 * time.Hour)
+	if job.State != StateDone {
+		t.Fatalf("state = %v (%s)", job.State, job.FailReason)
+	}
+	if job.Charged <= 0 {
+		t.Error("portfolio-split job paid nothing")
+	}
+	for _, id := range job.Hosts {
+		if !strings.HasPrefix(id, "h") {
+			t.Errorf("funded unknown host %q", id)
+		}
+	}
+	_ = fmt.Sprintf("%v", job.Hosts)
+}

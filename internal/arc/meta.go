@@ -3,19 +3,36 @@ package arc
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
+
+	"tycoongrid/internal/strategy"
+	"tycoongrid/internal/tracing"
 )
 
 // Meta is the paper's replicated-agent deployment (§3): several Managers,
 // each backed by an agent partitioned onto a different set of compute nodes,
 // with "the ARC meta-scheduler ... used to load balance and do job to
-// cluster matchmaking between the replicas". Matchmaking picks the replica
-// whose host partition currently has the lowest mean spot price — the
-// cheapest place to run.
+// cluster matchmaking between the replicas". Matchmaking delegates to a
+// pluggable strategy.Strategy — current spot price by default, price
+// prediction or the Markowitz portfolio when injected — so the scheduler
+// itself never branches on the policy.
 type Meta struct {
 	replicas []*Manager
+	strat    strategy.Strategy
+	horizon  time.Duration
+	index    map[string]*Manager // jobID -> owning replica
+
+	// Predicted-vs-realized scoring, accumulated horizon after each pick.
+	scored     int
+	absErrSum  float64
+	absErrPeak float64
 }
 
-// NewMeta builds a meta-scheduler over the given replicas.
+// NewMeta builds a meta-scheduler over the given replicas. The default
+// matchmaking strategy picks the partition with the lowest current mean spot
+// price, rotating deterministically among exact ties; use SetStrategy to
+// inject a prediction- or portfolio-driven policy.
 func NewMeta(replicas ...*Manager) (*Meta, error) {
 	if len(replicas) == 0 {
 		return nil, errors.New("arc: meta-scheduler needs at least one replica")
@@ -25,37 +42,147 @@ func NewMeta(replicas ...*Manager) (*Meta, error) {
 			return nil, fmt.Errorf("arc: replica %d is nil", i)
 		}
 	}
-	return &Meta{replicas: replicas}, nil
+	def, err := strategy.New(strategy.CurrentPrice, strategy.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &Meta{
+		replicas: replicas,
+		strat:    def,
+		index:    make(map[string]*Manager),
+	}, nil
 }
+
+// SetStrategy replaces the matchmaking policy. horizon > 0 additionally
+// scores each pick: that long after submission the chosen partition's
+// realized price is compared against the strategy's forecast, recorded as a
+// "prediction-scored" timeline event and in PredictionStats. A nil strategy
+// restores the default current-price policy.
+func (m *Meta) SetStrategy(s strategy.Strategy, horizon time.Duration) {
+	if s == nil {
+		s, _ = strategy.New(strategy.CurrentPrice, strategy.Config{})
+	}
+	m.strat = s
+	m.horizon = horizon
+}
+
+// Strategy returns the active matchmaking strategy's name.
+func (m *Meta) Strategy() string { return m.strat.Name() }
 
 // Replicas returns the number of managed replicas.
 func (m *Meta) Replicas() int { return len(m.replicas) }
 
-// pick returns the replica with the cheapest partition right now.
-func (m *Meta) pick() *Manager {
-	best := m.replicas[0]
-	bestPrice := best.cfg.Agent.MeanSpotPrice()
-	for _, r := range m.replicas[1:] {
-		if p := r.cfg.Agent.MeanSpotPrice(); p < bestPrice {
-			best, bestPrice = r, p
+// pick delegates replica selection to the strategy, handing it each
+// partition's current price and recorded price history.
+func (m *Meta) pick() (*Manager, strategy.Pick) {
+	cands := make([]strategy.Candidate, len(m.replicas))
+	for i, r := range m.replicas {
+		ag := r.cfg.Agent
+		cands[i] = strategy.Candidate{
+			ID:           r.cfg.ClusterName,
+			CurrentPrice: ag.MeanSpotPrice(),
+			History:      ag.PriceHistory(0),
+			Step:         ag.Cluster().Interval(),
 		}
 	}
-	return best
+	p, err := m.strat.Pick(cands)
+	if err != nil || p.Index < 0 || p.Index >= len(m.replicas) {
+		// A strategy can only fail on an empty candidate list, which NewMeta
+		// rules out; fall back to the first replica rather than dropping work.
+		return m.replicas[0], strategy.Pick{Predicted: cands[0].CurrentPrice}
+	}
+	return m.replicas[p.Index], p
 }
 
-// Submit matchmakes the job to the cheapest replica.
+// Submit matchmakes the job to a replica chosen by the strategy.
 func (m *Meta) Submit(xrslText string, chunkWork []float64) (*GridJob, error) {
-	return m.pick().Submit(xrslText, chunkWork)
+	r, p := m.pick()
+	gj, err := r.Submit(xrslText, chunkWork)
+	if err != nil {
+		return nil, err
+	}
+	m.index[gj.ID] = r
+	mMetaPicks.With(m.strat.Name(), r.cfg.ClusterName).Inc()
+	eng := r.cfg.Agent.Engine()
+	if gj.Span.Recording() {
+		gj.Span.AddEventAt(eng.Now(), "matchmade",
+			tracing.String("strategy", m.strat.Name()),
+			tracing.String("replica", r.cfg.ClusterName),
+			tracing.String("predicted", fmt.Sprintf("%.6f", p.Predicted)),
+			tracing.String("current", fmt.Sprintf("%.6f", r.cfg.Agent.MeanSpotPrice())))
+	}
+	if m.horizon > 0 {
+		predicted := p.Predicted
+		if _, err := eng.After(m.horizon, func() {
+			m.scorePrediction(r, gj, predicted)
+		}); err != nil {
+			// Engine already stopped; scoring is best-effort diagnostics.
+			_ = err
+		}
+	}
+	return gj, nil
+}
+
+// scorePrediction compares the price the strategy forecast at matchmaking
+// time against the partition's realized mean spot price one horizon later.
+func (m *Meta) scorePrediction(r *Manager, gj *GridJob, predicted float64) {
+	realized := r.cfg.Agent.MeanSpotPrice()
+	absErr := math.Abs(predicted - realized)
+	m.scored++
+	m.absErrSum += absErr
+	if absErr > m.absErrPeak {
+		m.absErrPeak = absErr
+	}
+	mMetaPredictionError.Observe(absErr)
+	if gj.Span.Recording() {
+		gj.Span.AddEventAt(r.cfg.Agent.Engine().Now(), "prediction-scored",
+			tracing.String("strategy", m.strat.Name()),
+			tracing.String("predicted", fmt.Sprintf("%.6f", predicted)),
+			tracing.String("realized", fmt.Sprintf("%.6f", realized)),
+			tracing.String("abs_error", fmt.Sprintf("%.6f", absErr)))
+	}
+}
+
+// PredictionStats summarizes predicted-vs-realized price accuracy across all
+// scored picks (empty until horizon-delayed scoring has fired).
+type PredictionStats struct {
+	Scored       int
+	MeanAbsError float64
+	MaxAbsError  float64
+}
+
+// PredictionStats returns the accumulated forecast-accuracy summary.
+func (m *Meta) PredictionStats() PredictionStats {
+	st := PredictionStats{Scored: m.scored, MaxAbsError: m.absErrPeak}
+	if m.scored > 0 {
+		st.MeanAbsError = m.absErrSum / float64(m.scored)
+	}
+	return st
+}
+
+// owner resolves the replica managing a job: an index hit for meta-submitted
+// jobs, otherwise a scan (jobs submitted directly to a replica bypass
+// Submit), cached for next time.
+func (m *Meta) owner(id string) (*Manager, bool) {
+	if r, ok := m.index[id]; ok {
+		return r, true
+	}
+	for _, r := range m.replicas {
+		if _, err := r.Job(id); err == nil {
+			m.index[id] = r
+			return r, true
+		}
+	}
+	return nil, false
 }
 
 // Job looks a job up across all replicas.
 func (m *Meta) Job(id string) (*GridJob, error) {
-	for _, r := range m.replicas {
-		if gj, err := r.Job(id); err == nil {
-			return gj, nil
-		}
+	r, ok := m.owner(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	return r.Job(id)
 }
 
 // Jobs returns every replica's jobs.
@@ -69,12 +196,29 @@ func (m *Meta) Jobs() []*GridJob {
 
 // Boost routes a boost to whichever replica owns the job.
 func (m *Meta) Boost(jobID, encodedToken string) error {
-	for _, r := range m.replicas {
-		if _, err := r.Job(jobID); err == nil {
-			return r.Boost(jobID, encodedToken)
-		}
+	r, ok := m.owner(jobID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
 	}
-	return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	return r.Boost(jobID, encodedToken)
+}
+
+// Cancel routes a cancellation to whichever replica owns the job.
+func (m *Meta) Cancel(jobID string) error {
+	r, ok := m.owner(jobID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	return r.Cancel(jobID)
+}
+
+// Timeline serves the owning replica's job timeline.
+func (m *Meta) Timeline(id string) (Timeline, error) {
+	r, ok := m.owner(id)
+	if !ok {
+		return Timeline{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return r.Timeline(id)
 }
 
 // Monitor aggregates the replica snapshots. Per-host VM counts would double

@@ -14,6 +14,14 @@ var (
 		"Jobs in ACCEPTED or PREPARING (stage-in).")
 	mJobsRunning = metrics.Default().Gauge("arc_jobs_running",
 		"Jobs in INLRMS:R or FINISHING.")
+	mMetaPicks = metrics.Default().CounterVec("arc_meta_picks_total",
+		"Meta-scheduler matchmaking decisions by strategy and chosen replica.",
+		"strategy", "replica")
+	// Spot prices live near the 1/3600 credits/s reserve, so the error
+	// buckets span reserve/10 up to ~100x reserve.
+	mMetaPredictionError = metrics.Default().Histogram("arc_meta_prediction_abs_error",
+		"Absolute error between the strategy's price forecast and the realized partition price one horizon later (credits/s).",
+		[]float64{0.00003, 0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03})
 )
 
 // noteTerminal records a terminal transition under its monitor label.

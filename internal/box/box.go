@@ -23,6 +23,7 @@ import (
 	"tycoongrid/internal/grid"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/strategy"
 	"tycoongrid/internal/token"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	StageInTime  time.Duration
 	StageOutTime time.Duration
 	ClusterName  string
+	// Partitions > 1 splits the hosts evenly across that many agent/manager
+	// pairs under an arc.Meta whose matchmaking Strategy routes each
+	// submitted job (see internal/strategy for the registry). Hosts must be
+	// divisible by Partitions.
+	Partitions int
+	Strategy   string        // "" = the meta default (current-price)
+	Horizon    time.Duration // forecast horizon for prediction strategies
 }
 
 // DefaultConfig returns a small but real market.
@@ -59,7 +67,9 @@ type User struct {
 	transfer int
 }
 
-// Box is the assembled market.
+// Box is the assembled market. With Partitions > 1, Agent and Manager are
+// the first partition's pair and Meta spans all of them; otherwise Meta is
+// nil.
 type Box struct {
 	Engine  *sim.Engine
 	CA      *pki.CA
@@ -67,9 +77,28 @@ type Box struct {
 	Cluster *grid.Cluster
 	Agent   *agent.Agent
 	Manager *arc.Manager
+	Meta    *arc.Meta
 
 	broker *pki.Identity
 	users  map[string]*User
+}
+
+// Scheduler returns the job-scheduling front door: the strategy-driven Meta
+// when the box is partitioned, otherwise the single Manager. Both satisfy
+// httpapi.JobManager.
+func (b *Box) Scheduler() interface {
+	Submit(xrslText string, chunkWork []float64) (*arc.GridJob, error)
+	Job(id string) (*arc.GridJob, error)
+	Jobs() []*arc.GridJob
+	Boost(jobID, encodedToken string) error
+	Cancel(jobID string) error
+	Timeline(id string) (arc.Timeline, error)
+	Monitor() arc.MonitorSnapshot
+} {
+	if b.Meta != nil {
+		return b.Meta
+	}
+	return b.Manager
 }
 
 // New assembles a box.
@@ -122,36 +151,80 @@ func New(cfg Config) (*Box, error) {
 		return nil, err
 	}
 
+	// One verifier for all partitions: replay protection must be global, or
+	// the same token could be redeemed once per partition agent.
 	verifier, err := token.NewVerifier(ledger.PublicKey(), ca.Certificate(), "broker", nil)
 	if err != nil {
 		return nil, err
 	}
-	ag, err := agent.New(agent.Config{
-		Cluster: cluster, Bank: ledger, Identity: brokerID,
-		Account: "broker", Verifier: verifier,
-	})
-	if err != nil {
-		return nil, err
+	parts := cfg.Partitions
+	if parts < 1 {
+		parts = 1
 	}
-	mgr, err := arc.New(arc.Config{
-		ClusterName:  cfg.ClusterName,
-		Agent:        ag,
-		StageInTime:  cfg.StageInTime,
-		StageOutTime: cfg.StageOutTime,
-	})
-	if err != nil {
-		return nil, err
+	if cfg.Hosts%parts != 0 {
+		return nil, fmt.Errorf("box: %d hosts not divisible into %d partitions", cfg.Hosts, parts)
 	}
-	return &Box{
+	per := cfg.Hosts / parts
+	var agents []*agent.Agent
+	var managers []*arc.Manager
+	for i := 0; i < parts; i++ {
+		acfg := agent.Config{
+			Cluster: cluster, Bank: ledger, Identity: brokerID,
+			Account: "broker", Verifier: verifier,
+		}
+		name := cfg.ClusterName
+		if parts > 1 {
+			hostIDs := make([]string, per)
+			for j := range hostIDs {
+				hostIDs[j] = specs[i*per+j].ID
+			}
+			acfg.Hosts = hostIDs
+			// Shared broker account: distinct prefixes keep per-job
+			// sub-accounts collision-free across partitions.
+			acfg.JobIDPrefix = fmt.Sprintf("p%d", i)
+			name = fmt.Sprintf("%s-p%d", cfg.ClusterName, i)
+		}
+		ag, err := agent.New(acfg)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := arc.New(arc.Config{
+			ClusterName:  name,
+			Agent:        ag,
+			StageInTime:  cfg.StageInTime,
+			StageOutTime: cfg.StageOutTime,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, ag)
+		managers = append(managers, mgr)
+	}
+	b := &Box{
 		Engine:  eng,
 		CA:      ca,
 		Bank:    ledger,
 		Cluster: cluster,
-		Agent:   ag,
-		Manager: mgr,
+		Agent:   agents[0],
+		Manager: managers[0],
 		broker:  brokerID,
 		users:   make(map[string]*User),
-	}, nil
+	}
+	if parts > 1 {
+		meta, err := arc.NewMeta(managers...)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Strategy != "" {
+			s, err := strategy.New(cfg.Strategy, strategy.Config{Horizon: cfg.Horizon})
+			if err != nil {
+				return nil, err
+			}
+			meta.SetStrategy(s, cfg.Horizon)
+		}
+		b.Meta = meta
+	}
+	return b, nil
 }
 
 // Errors returned by the demo-identity API.

@@ -143,3 +143,74 @@ func TestTokensAreSingleUse(t *testing.T) {
 		t.Errorf("alice balance = %v", bal)
 	}
 }
+
+func TestPartitionedBoxRoutesThroughMeta(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Partitions = 2
+	cfg.Strategy = "predicted-mean"
+	cfg.Horizon = 10 * time.Minute
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta == nil {
+		t.Fatal("partitioned box has no meta-scheduler")
+	}
+	if got := b.Meta.Strategy(); got != "predicted-mean" {
+		t.Errorf("strategy = %q", got)
+	}
+	if b.Meta.Replicas() != 2 {
+		t.Errorf("replicas = %d", b.Meta.Replicas())
+	}
+	if _, err := b.CreateUser("alice", 500*bank.Credit); err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.RunFor(30 * time.Minute) // accrue price history for the predictor
+	tok, err := b.MintToken("alice", 50*bank.Credit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xrsl := fmt.Sprintf(
+		"&(executable=scan.sh)(jobname=meta-test)(count=2)(cputime=10)(walltime=120)(transfertoken=%s)", tok)
+	gj, err := b.Scheduler().Submit(xrsl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Engine.RunFor(2 * time.Hour)
+	if gj.State != arc.StateFinished {
+		t.Fatalf("job state = %v (%s)", gj.State, gj.Error)
+	}
+	// The meta routes status calls to whichever partition owns the job.
+	if _, err := b.Meta.Job(gj.ID); err != nil {
+		t.Errorf("meta job lookup: %v", err)
+	}
+	if _, err := b.Meta.Timeline(gj.ID); err != nil {
+		t.Errorf("meta timeline: %v", err)
+	}
+}
+
+func TestPartitionedBoxValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 7
+	cfg.Partitions = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("7 hosts over 2 partitions accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Partitions = 2
+	cfg.Strategy = "no-such-strategy"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	// Single-partition boxes must not construct a meta.
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta != nil {
+		t.Error("single-partition box has a meta")
+	}
+	if b.Scheduler() != b.Manager {
+		t.Error("single-partition scheduler is not the manager")
+	}
+}

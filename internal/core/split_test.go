@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func splitHosts() []Host {
+	return []Host{
+		{ID: "a", Preference: 2800, Price: 1},
+		{ID: "b", Preference: 2800, Price: 2},
+		{ID: "c", Preference: 2800, Price: 4},
+	}
+}
+
+func TestSplitByWeightsProportional(t *testing.T) {
+	allocs, err := SplitByWeights(10, splitHosts(), []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 3 {
+		t.Fatalf("allocs = %d", len(allocs))
+	}
+	var total float64
+	got := map[string]float64{}
+	for _, a := range allocs {
+		got[a.Host.ID] = a.Bid
+		total += a.Bid
+	}
+	if math.Abs(total-10) > 1e-12 {
+		t.Errorf("bids sum to %v, want 10", total)
+	}
+	if math.Abs(got["a"]-5) > 1e-12 || math.Abs(got["b"]-3) > 1e-12 || math.Abs(got["c"]-2) > 1e-12 {
+		t.Errorf("bids = %v", got)
+	}
+	// Sorted descending by bid.
+	for i := 1; i < len(allocs); i++ {
+		if allocs[i].Bid > allocs[i-1].Bid {
+			t.Errorf("allocs not sorted: %v", allocs)
+		}
+	}
+}
+
+func TestSplitByWeightsNormalizesAndOmitsZero(t *testing.T) {
+	allocs, err := SplitByWeights(6, splitHosts(), []float64{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("zero-weight host not omitted: %v", allocs)
+	}
+	if math.Abs(allocs[0].Bid-4) > 1e-12 || allocs[0].Host.ID != "a" {
+		t.Errorf("top alloc = %+v", allocs[0])
+	}
+	if math.Abs(allocs[1].Bid-2) > 1e-12 || allocs[1].Host.ID != "c" {
+		t.Errorf("second alloc = %+v", allocs[1])
+	}
+}
+
+func TestSplitByWeightsValidation(t *testing.T) {
+	hosts := splitHosts()
+	cases := []struct {
+		name    string
+		budget  float64
+		hosts   []Host
+		weights []float64
+		want    error
+	}{
+		{"zero budget", 0, hosts, []float64{1, 1, 1}, ErrBadBudget},
+		{"nan budget", math.NaN(), hosts, []float64{1, 1, 1}, ErrBadBudget},
+		{"no hosts", 5, nil, nil, ErrNoHosts},
+		{"length mismatch", 5, hosts, []float64{1, 1}, ErrBadWeights},
+		{"negative weight", 5, hosts, []float64{1, -1, 1}, ErrBadWeights},
+		{"nan weight", 5, hosts, []float64{1, math.NaN(), 1}, ErrBadWeights},
+		{"all zero", 5, hosts, []float64{0, 0, 0}, ErrBadWeights},
+		{"bad host", 5, []Host{{ID: "x", Preference: 0, Price: 1}}, []float64{1}, ErrBadHost},
+	}
+	for _, c := range cases {
+		if _, err := SplitByWeights(c.budget, c.hosts, c.weights); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	// A bad host with zero weight is never touched, so it must not error.
+	bad := []Host{hosts[0], {ID: "down", Preference: 0, Price: 0}}
+	allocs, err := SplitByWeights(5, bad, []float64{1, 0})
+	if err != nil || len(allocs) != 1 {
+		t.Errorf("zero-weight bad host: allocs=%v err=%v", allocs, err)
+	}
+}

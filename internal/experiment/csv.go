@@ -83,6 +83,22 @@ func writeNamedCSV(w io.Writer, header []string, names []string, rows [][]float6
 	return nil
 }
 
+// writeNamedCSVFile writes a labeled-row CSV into dir/name.
+func writeNamedCSVFile(dir, name string, header, names []string, rows [][]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeNamedCSV(f, header, names, rows); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // writeCSVFile writes a CSV into dir/name.
 func writeCSVFile(dir, name string, header []string, rows [][]float64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -406,6 +406,8 @@ func DefaultRepSpec(name string) (RepSpec, error) {
 		p.Stride = 360
 		p.FitWindow = 17280
 		return RepSpecAblationSmoothing(p), nil
+	case "strategies":
+		return RepSpecStrategies(DefaultStrategiesParams()), nil
 	}
 	return RepSpec{}, fmt.Errorf("experiment: %q has no replication spec", name)
 }

@@ -1,0 +1,602 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tycoongrid/internal/agent"
+	"tycoongrid/internal/arc"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/grid"
+	"tycoongrid/internal/mathx"
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/rng"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/strategy"
+	"tycoongrid/internal/token"
+	"tycoongrid/internal/trace"
+	"tycoongrid/internal/tracing"
+	"tycoongrid/internal/workload"
+	"tycoongrid/internal/xrsl"
+)
+
+// This file is the end-to-end strategy comparison the prediction suite
+// exists for: the same partitioned grid market is replayed once per
+// matchmaking strategy (current price, predicted mean, predicted quantile,
+// Markowitz portfolio) under identical seeds and identical measured jobs, so
+// the only difference between runs is WHERE the meta-scheduler sent each
+// job. Partition p0 carries the paper's bursty batch-wave load whose deep
+// price troughs bait the reactive current-price policy; the steady
+// partitions carry a continuous medium load. A strategy that sees through
+// the transient troughs — because the predicted or historical price of the
+// bursty partition is high — finishes the measured jobs sooner and cheaper.
+
+// StrategiesParams shapes the strategy-comparison scenario.
+type StrategiesParams struct {
+	World      WorldConfig // cluster shape; Hosts are split evenly over Partitions
+	Partitions int
+	Hours      float64
+
+	// Strategies to compare; empty means every registered strategy.
+	Strategies []string
+	// Horizon is the forecast horizon handed to prediction strategies and the
+	// delay after which predicted-vs-realized error is scored.
+	Horizon time.Duration
+	// Predictor is the predict registry model for predicted-* strategies.
+	Predictor string
+	// Window is the history window (in market ticks) for predictors.
+	Window int
+
+	// Bursty background on partition 0: every WavePeriod a wave of WaveJobs
+	// heavily-funded batch jobs lands, then completes, producing the sharp
+	// spike/trough cycle of §5.4.
+	WavePeriod time.Duration
+	WaveJobs   int
+	// Steady background on the remaining partitions: one modest job every
+	// SteadyEvery per partition.
+	SteadyEvery time.Duration
+
+	// Measured jobs are submitted through the meta-scheduler at a fixed
+	// cadence and constitute the comparison metric.
+	MeasureStart    time.Duration
+	MeasureEvery    time.Duration
+	MeasureBudget   float64 // credits
+	MeasureDeadline time.Duration
+	MeasureSubJobs  int
+	MeasureChunkMin float64
+	MeasureMaxNodes int
+}
+
+// DefaultStrategiesParams returns the paper-shaped comparison: a six-host
+// cluster in three two-host partitions, 30 hours of market activity, waves
+// every 80 minutes on the bursty partition, and a measured job through the
+// meta-scheduler every 50 minutes.
+func DefaultStrategiesParams() StrategiesParams {
+	w := PaperWorld()
+	w.Hosts = 6
+	w.Users = 6
+	// Hundreds of single-use jobs per host over 30 h: reap idle VMs or the
+	// per-host VM limit starves the second half of the run.
+	w.PurgeIdleAfter = 30 * time.Minute
+	return StrategiesParams{
+		World:      w,
+		Partitions: 3,
+		Hours:      30,
+
+		Strategies: nil, // all registered
+		Horizon:    30 * time.Minute,
+		Predictor:  "ar",
+		Window:     600, // 100 min of 10 s ticks: > one full wave period
+
+		WavePeriod:  80 * time.Minute,
+		WaveJobs:    3,
+		SteadyEvery: 25 * time.Minute,
+
+		MeasureStart:    2 * time.Hour,
+		MeasureEvery:    50 * time.Minute,
+		MeasureBudget:   40,
+		MeasureDeadline: 3 * time.Hour,
+		MeasureSubJobs:  4,
+		MeasureChunkMin: 20,
+		MeasureMaxNodes: 2,
+	}
+}
+
+// StrategyOutcome is one strategy's aggregate over its measured jobs.
+type StrategyOutcome struct {
+	Strategy string
+	Jobs     int // measured jobs that finished
+	Failed   int // measured jobs that failed or never finished
+	// MeanCost is the mean credits actually charged per finished measured job.
+	MeanCost float64
+	// MeanMakespanMin is the mean submission-to-completion wall time (minutes).
+	MeanMakespanMin float64
+	// Volatility is the mean, over measured jobs, of the standard deviation of
+	// the chosen partition's spot price during the job's lifetime (credits/s).
+	Volatility float64
+	// PredMAE is the meta-scheduler's mean absolute predicted-vs-realized
+	// price error, scored one horizon after each pick.
+	PredMAE float64
+	// Picks counts matchmaking decisions per partition name.
+	Picks map[string]int
+}
+
+// StrategiesResult is the full comparison.
+type StrategiesResult struct {
+	Params   StrategiesParams
+	Outcomes []StrategyOutcome
+}
+
+// RunStrategies replays the scenario once per strategy under the same seed
+// and returns the per-strategy outcomes in the order requested.
+func RunStrategies(p StrategiesParams) (*StrategiesResult, error) {
+	if p.Partitions < 2 {
+		return nil, errors.New("experiment: strategies needs at least 2 partitions")
+	}
+	if p.World.Hosts%p.Partitions != 0 {
+		return nil, fmt.Errorf("experiment: %d hosts not divisible into %d partitions",
+			p.World.Hosts, p.Partitions)
+	}
+	if p.Hours <= 0 || p.MeasureEvery <= 0 || p.MeasureDeadline <= 0 {
+		return nil, errors.New("experiment: bad strategies timing")
+	}
+	names := p.Strategies
+	if len(names) == 0 {
+		names = strategy.Names()
+	}
+	res := &StrategiesResult{Params: p}
+	for _, name := range names {
+		out, err := runOneStrategy(p, name)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: strategy %q: %w", name, err)
+		}
+		res.Outcomes = append(res.Outcomes, *out)
+	}
+	return res, nil
+}
+
+// stratWorld is the partitioned meta-scheduler testbed.
+type stratWorld struct {
+	eng        *sim.Engine
+	bank       *bank.Bank
+	rec        *trace.Recorder
+	meta       *arc.Meta
+	agents     []*agent.Agent
+	partitions [][]string
+	hostPart   map[string]int
+	users      []*GridUser
+	src        *rng.Source
+	nonce      int
+}
+
+// buildStrategiesWorld assembles one partitioned world: a single cluster,
+// one agent + ARC manager per partition — all sharing ONE broker identity,
+// account and token verifier (so a token pays "the grid" and verifies no
+// matter which partition matchmaking picks) — under a Meta running the named
+// strategy.
+func buildStrategiesWorld(p StrategiesParams, stratName string) (*stratWorld, error) {
+	eng := sim.NewEngine()
+	src := rng.New(p.World.Seed)
+	tr := p.World.Tracer
+	if tr == nil {
+		tr = tracing.Default()
+	}
+	ca, err := pki.NewDeterministicCA("/O=Grid/CN=TycoonCA", seed32(src), pki.WithTimeSource(eng.Now))
+	if err != nil {
+		return nil, err
+	}
+	bankID, err := ca.IssueDeterministic("/CN=Bank", seed32(src))
+	if err != nil {
+		return nil, err
+	}
+	brokerID, err := ca.IssueDeterministic("/CN=Broker", seed32(src))
+	if err != nil {
+		return nil, err
+	}
+	b := bank.New(bankID, eng, bank.WithLedgerRetention(100_000), bank.WithTracer(tr))
+	if _, err := b.CreateAccount("broker", brokerID.Public()); err != nil {
+		return nil, err
+	}
+
+	specs := make([]grid.HostSpec, p.World.Hosts)
+	for i := range specs {
+		specs[i] = grid.HostSpec{
+			ID:     fmt.Sprintf("h%02d", i),
+			Site:   site(i),
+			CPUs:   p.World.CPUsPerHost,
+			CPUMHz: p.World.CPUMHz,
+			MaxVMs: p.World.MaxVMsPerCPU * p.World.CPUsPerHost,
+		}
+	}
+	cluster, err := grid.New(eng, grid.Config{
+		Hosts:          specs,
+		ReservePrice:   p.World.ReservePrice,
+		Interval:       p.World.Interval,
+		PurgeIdleAfter: p.World.PurgeIdleAfter,
+		Tracer:         tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cluster.Start(); err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder()
+	for _, id := range cluster.HostIDs() {
+		h, err := cluster.Host(id)
+		if err != nil {
+			return nil, err
+		}
+		h.Market.Observe(rec.Observer(id))
+	}
+
+	// One shared verifier: the replay cache must be global, or the same
+	// token could be redeemed once per partition.
+	verifier, err := token.NewVerifier(b.PublicKey(), ca.Certificate(), "broker", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	per := p.World.Hosts / p.Partitions
+	w := &stratWorld{
+		eng: eng, bank: b, rec: rec, src: src,
+		hostPart: make(map[string]int),
+	}
+	var managers []*arc.Manager
+	for i := 0; i < p.Partitions; i++ {
+		part := make([]string, per)
+		for j := range part {
+			part[j] = fmt.Sprintf("h%02d", i*per+j)
+			w.hostPart[part[j]] = i
+		}
+		ag, err := agent.New(agent.Config{
+			Cluster: cluster, Bank: b, Identity: brokerID, Account: "broker",
+			Verifier: verifier, Hosts: part, Tracer: tr,
+			// Shared broker account: distinct prefixes keep the per-job
+			// sub-accounts (broker/p0-0001, ...) collision-free.
+			JobIDPrefix: fmt.Sprintf("p%d", i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := arc.New(arc.Config{
+			ClusterName: fmt.Sprintf("p%d", i), Agent: ag, Tracer: tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.agents = append(w.agents, ag)
+		w.partitions = append(w.partitions, part)
+		managers = append(managers, mgr)
+	}
+	meta, err := arc.NewMeta(managers...)
+	if err != nil {
+		return nil, err
+	}
+	s, err := strategy.New(stratName, strategy.Config{
+		Horizon:   p.Horizon,
+		Predictor: p.Predictor,
+		Window:    p.Window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meta.SetStrategy(s, p.Horizon)
+	w.meta = meta
+
+	for i := 0; i < p.World.Users; i++ {
+		name := fmt.Sprintf("user%d", i+1)
+		id, err := ca.IssueDeterministic(pki.DN("/O=Grid/OU=KTH/CN="+name), seed32(src))
+		if err != nil {
+			return nil, err
+		}
+		key, err := ca.IssueDeterministic(pki.DN("/CN="+name+"-bankkey"), seed32(src))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.CreateAccount(bank.AccountID(name), key.Public()); err != nil {
+			return nil, err
+		}
+		if err := b.Deposit(bank.AccountID(name), p.World.GrantPerUser, "allocation"); err != nil {
+			return nil, err
+		}
+		w.users = append(w.users, &GridUser{
+			Name: name, Identity: id, BankKey: key, Account: bank.AccountID(name),
+		})
+	}
+	return w, nil
+}
+
+// mint pays credits from user u to the shared broker account.
+func (w *stratWorld) mint(u *GridUser, amount bank.Amount) (token.Token, error) {
+	w.nonce++
+	req := bank.TransferRequest{
+		From: u.Account, To: "broker", Amount: amount,
+		Nonce: fmt.Sprintf("%s-s%05d", u.Name, w.nonce),
+	}
+	req.Sig = u.BankKey.Sign(req.SigningBytes())
+	r, err := w.bank.Transfer(req)
+	if err != nil {
+		return token.Token{}, err
+	}
+	return token.Attach(r, u.Identity), nil
+}
+
+// background submits one direct (non-meta) job to partition pi's agent.
+func (w *stratWorld) background(u *GridUser, pi int, credits float64,
+	deadline time.Duration, subJobs int, chunkMin float64, maxNodes int) error {
+	budget, err := bank.FromCredits(credits)
+	if err != nil || budget <= 0 {
+		return err
+	}
+	tok, err := w.mint(u, budget)
+	if err != nil {
+		return err
+	}
+	jr := &xrsl.JobRequest{
+		JobName: "background", Executable: "scan.sh",
+		Count: maxNodes, WallTime: deadline,
+	}
+	chunks := make([]float64, subJobs)
+	for i := range chunks {
+		chunks[i] = chunkMin * 60 * workload.ReferenceMHz
+	}
+	_, err = w.agents[pi].Submit(tok, jr, chunks)
+	return err
+}
+
+// runOneStrategy executes the full scenario under one matchmaking strategy.
+func runOneStrategy(p StrategiesParams, stratName string) (*StrategyOutcome, error) {
+	w, err := buildStrategiesWorld(p, stratName)
+	if err != nil {
+		return nil, err
+	}
+	horizon := time.Duration(p.Hours * float64(time.Hour))
+
+	// Bursty waves on partition 0. Each wave's jobs are funded heavily and
+	// sized to finish within the period, so the partition cycles between
+	// expensive (wave running) and reserve-price troughs (wave done).
+	waveSrc := w.src.Split()
+	waveUser := 0
+	var wave func()
+	wave = func() {
+		for i := 0; i < p.WaveJobs; i++ {
+			u := w.users[waveUser%len(w.users)]
+			waveUser++
+			_ = w.background(u, 0, waveSrc.Uniform(80, 120), p.WavePeriod*3/4,
+				5+waveSrc.Intn(3), waveSrc.Uniform(7, 10), len(w.partitions[0]))
+		}
+		if w.eng.Elapsed()+p.WavePeriod <= horizon {
+			_, _ = w.eng.After(p.WavePeriod, wave)
+		}
+	}
+	if p.WavePeriod > 0 && p.WaveJobs > 0 {
+		if _, err := w.eng.After(10*time.Minute, wave); err != nil {
+			return nil, err
+		}
+	}
+
+	// Steady medium load on every other partition: modest budgets, long
+	// deadlines, continuous overlap — a flat price comfortably above the
+	// reserve floor but far below a wave.
+	for pi := 1; pi < len(w.partitions); pi++ {
+		pi := pi
+		steadySrc := w.src.Split()
+		userOff := pi
+		var drip func()
+		drip = func() {
+			u := w.users[userOff%len(w.users)]
+			userOff += len(w.partitions)
+			_ = w.background(u, pi, steadySrc.Uniform(8, 14), 2*time.Hour,
+				4, steadySrc.Uniform(12, 18), len(w.partitions[pi]))
+			if w.eng.Elapsed()+p.SteadyEvery <= horizon {
+				_, _ = w.eng.After(p.SteadyEvery, drip)
+			}
+		}
+		start := time.Duration(steadySrc.Uniform(2, p.SteadyEvery.Minutes()) * float64(time.Minute))
+		if _, err := w.eng.After(start, drip); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measured jobs through the meta-scheduler at a fixed, strategy-
+	// independent cadence; identical budget, shape and deadline every time.
+	measureUser := w.users[len(w.users)-1]
+	budget, err := bank.FromCredits(p.MeasureBudget)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([]float64, p.MeasureSubJobs)
+	for i := range chunks {
+		chunks[i] = p.MeasureChunkMin * 60 * workload.ReferenceMHz
+	}
+	var measured []*arc.GridJob
+	var measureErrs int
+	for at := p.MeasureStart; at+p.MeasureDeadline <= horizon; at += p.MeasureEvery {
+		at := at
+		if _, err := w.eng.After(at, func() {
+			tok, err := w.mint(measureUser, budget)
+			if err != nil {
+				measureErrs++
+				return
+			}
+			enc, err := token.Encode(tok)
+			if err != nil {
+				measureErrs++
+				return
+			}
+			xrslText := fmt.Sprintf(
+				"&(executable=scan.sh)(jobname=measured)(count=%d)(walltime=%d)(transfertoken=%s)",
+				p.MeasureMaxNodes, int(p.MeasureDeadline.Minutes()), enc)
+			gj, err := w.meta.Submit(xrslText, chunks)
+			if err != nil {
+				measureErrs++
+				return
+			}
+			measured = append(measured, gj)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	w.eng.RunFor(horizon)
+
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("no measured jobs submitted (%d errors)", measureErrs)
+	}
+	out := &StrategyOutcome{Strategy: stratName, Picks: map[string]int{}, Failed: measureErrs}
+	var costW, mkspW, volW mathx.Welford
+	for _, gj := range measured {
+		pi := w.jobPartition(gj)
+		if pi >= 0 {
+			out.Picks[fmt.Sprintf("p%d", pi)]++
+		}
+		if gj.State != arc.StateFinished || gj.AgentJob == nil {
+			out.Failed++
+			continue
+		}
+		out.Jobs++
+		costW.Add(gj.AgentJob.Charged.Credits())
+		mkspW.Add(gj.Finished.Sub(gj.Submitted).Minutes())
+		if pi >= 0 {
+			if sd, ok := w.partitionPriceStd(pi, gj.Submitted, gj.Finished); ok {
+				volW.Add(sd)
+			}
+		}
+	}
+	if out.Jobs == 0 {
+		return nil, fmt.Errorf("no measured jobs finished (%d failed)", out.Failed)
+	}
+	out.MeanCost = costW.Mean()
+	out.MeanMakespanMin = mkspW.Mean()
+	out.Volatility = volW.Mean()
+	out.PredMAE = w.meta.PredictionStats().MeanAbsError
+	return out, nil
+}
+
+// jobPartition maps a measured job to the partition it ran in.
+func (w *stratWorld) jobPartition(gj *arc.GridJob) int {
+	if gj.AgentJob == nil {
+		return -1
+	}
+	for _, s := range gj.AgentJob.SubJobs {
+		if pi, ok := w.hostPart[s.Host]; ok {
+			return pi
+		}
+	}
+	for _, h := range gj.AgentJob.Hosts {
+		if pi, ok := w.hostPart[h]; ok {
+			return pi
+		}
+	}
+	return -1
+}
+
+// partitionPriceStd is the standard deviation of the partition's mean spot
+// price over [from, to], from the full recorded trace.
+func (w *stratWorld) partitionPriceStd(pi int, from, to time.Time) (float64, bool) {
+	hosts := w.partitions[pi]
+	series := make([][]float64, 0, len(hosts))
+	n := math.MaxInt
+	for _, h := range hosts {
+		s := w.rec.Series(h)
+		if s == nil {
+			return 0, false
+		}
+		vs := s.Window(from, to)
+		if len(vs) < 2 {
+			return 0, false
+		}
+		series = append(series, vs)
+		if len(vs) < n {
+			n = len(vs)
+		}
+	}
+	var sd mathx.Welford
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, vs := range series {
+			sum += vs[len(vs)-n+i]
+		}
+		sd.Add(sum / float64(len(series)))
+	}
+	return math.Sqrt(sd.SampleVariance()), true
+}
+
+// String renders the comparison as an aligned table.
+func (r *StrategiesResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %10s %12s %12s %12s %6s %6s  %s\n",
+		"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "fail", "picks")
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&sb, "%-20s %10.3f %12.1f %12.6f %12.6f %6d %6d  %s\n",
+			o.Strategy, o.MeanCost, o.MeanMakespanMin, o.Volatility, o.PredMAE,
+			o.Jobs, o.Failed, formatPicks(o.Picks))
+	}
+	return sb.String()
+}
+
+func formatPicks(picks map[string]int) string {
+	keys := make([]string, 0, len(picks))
+	for k := range picks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, picks[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteCSV exports the comparison as strategies.csv, one row per strategy.
+func (r *StrategiesResult) WriteCSV(dir string) error {
+	header := []string{"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "failed"}
+	names := make([]string, len(r.Outcomes))
+	rows := make([][]float64, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		names[i] = o.Strategy
+		rows[i] = []float64{o.MeanCost, o.MeanMakespanMin, o.Volatility, o.PredMAE,
+			float64(o.Jobs), float64(o.Failed)}
+	}
+	return writeNamedCSVFile(dir, "strategies.csv", header, names, rows)
+}
+
+// RepSpecStrategies replicates the full strategy comparison: each
+// replication replays every strategy under one derived seed (a paired
+// design), reporting cost, makespan, volatility and prediction error per
+// strategy.
+func RepSpecStrategies(p StrategiesParams) RepSpec {
+	names := p.Strategies
+	if len(names) == 0 {
+		names = strategy.Names()
+	}
+	var cols []string
+	for _, n := range names {
+		short := strings.ReplaceAll(n, "-", "_")
+		cols = append(cols, short+"_cost", short+"_mksp_min", short+"_vol", short+"_prederr")
+	}
+	return RepSpec{
+		Name: "strategies",
+		Cols: cols,
+		Run: func(seed int64) ([]float64, error) {
+			q := p
+			q.Strategies = names
+			q.World.Seed = seed
+			q.World.Tracer = quietTracer()
+			res, err := RunStrategies(q)
+			if err != nil {
+				return nil, err
+			}
+			var out []float64
+			for _, o := range res.Outcomes {
+				out = append(out, o.MeanCost, o.MeanMakespanMin, o.Volatility, o.PredMAE)
+			}
+			return out, nil
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/strategy"
+)
+
+// shortStrategiesParams shrinks the scenario so the full stack still
+// exercises waves, steady load and meta-routed measured jobs, but runs in
+// test time: 10 hours on the same 6-host/3-partition shape.
+func shortStrategiesParams() StrategiesParams {
+	p := DefaultStrategiesParams()
+	p.Hours = 10
+	p.MeasureStart = time.Hour
+	p.MeasureEvery = 45 * time.Minute
+	p.MeasureDeadline = 2 * time.Hour
+	p.World.Tracer = quietTracer()
+	return p
+}
+
+func TestRunStrategiesShort(t *testing.T) {
+	p := shortStrategiesParams()
+	p.Strategies = []string{strategy.CurrentPrice, strategy.Portfolio}
+	res, err := RunStrategies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	for _, o := range res.Outcomes {
+		if o.Jobs == 0 {
+			t.Errorf("%s: no measured jobs finished", o.Strategy)
+		}
+		if o.MeanCost <= 0 || math.IsNaN(o.MeanCost) {
+			t.Errorf("%s: mean cost = %v", o.Strategy, o.MeanCost)
+		}
+		if o.MeanMakespanMin <= 0 {
+			t.Errorf("%s: makespan = %v", o.Strategy, o.MeanMakespanMin)
+		}
+		if len(o.Picks) == 0 {
+			t.Errorf("%s: no picks recorded", o.Strategy)
+		}
+	}
+	// Rendering and CSV export round-trip.
+	s := res.String()
+	for _, o := range res.Outcomes {
+		if !strings.Contains(s, o.Strategy) {
+			t.Errorf("String() missing %q:\n%s", o.Strategy, s)
+		}
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "strategies.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStrategiesDeterministic: the same params and seed must reproduce
+// byte-identical results — the property the replication harness depends on.
+func TestRunStrategiesDeterministic(t *testing.T) {
+	p := shortStrategiesParams()
+	p.Strategies = []string{strategy.PredictedMean}
+	a, err := RunStrategies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStrategies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRepSpecStrategiesColumns(t *testing.T) {
+	spec, err := DefaultRepSpec("strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "strategies" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	// 4 metrics per registered strategy.
+	want := 4 * len(strategy.Names())
+	if len(spec.Cols) != want {
+		t.Errorf("cols = %d, want %d: %v", len(spec.Cols), want, spec.Cols)
+	}
+	for _, c := range spec.Cols {
+		if strings.Contains(c, "-") {
+			t.Errorf("column %q not CSV-friendly", c)
+		}
+	}
+}

@@ -62,6 +62,11 @@ type WorldConfig struct {
 	CreateOverhead  time.Duration
 	InstallOverhead time.Duration
 	VirtOverhead    float64
+	// PurgeIdleAfter destroys VMs idle longer than this (0 = never). Long
+	// many-job scenarios must set it: every job bids under its own
+	// sub-account, so finished jobs' VMs are never reused and would
+	// otherwise accumulate until the host's VM limit starves new work.
+	PurgeIdleAfter time.Duration
 	// Tracer scopes every span this world's services emit. Nil means the
 	// process-wide tracing.Default(); replication workers inject a private
 	// (and usually unsampled) tracer so concurrent worlds share nothing.
@@ -127,10 +132,11 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		}
 	}
 	cluster, err := grid.New(eng, grid.Config{
-		Hosts:        specs,
-		ReservePrice: cfg.ReservePrice,
-		Interval:     cfg.Interval,
-		Tracer:       tr,
+		Hosts:          specs,
+		ReservePrice:   cfg.ReservePrice,
+		Interval:       cfg.Interval,
+		PurgeIdleAfter: cfg.PurgeIdleAfter,
+		Tracer:         tr,
 	})
 	if err != nil {
 		return nil, err

@@ -50,26 +50,46 @@ func validate(assets []Asset, cov *matrix.Matrix) error {
 // MinimumVariance returns the paper's "risk free portfolio": the weights
 // w = Sigma^-1 * 1 / (1' * Sigma^-1 * 1) minimizing portfolio variance
 // regardless of returns.
+//
+// A singular or near-singular covariance — identical hosts, or a window
+// where prices never moved — has no unique minimizer: every convex
+// combination has the same variance, so the equal-weight portfolio is
+// returned rather than an error (and never NaN/Inf weights, which a naive
+// solve of such a matrix produces). Covariances with non-finite entries are
+// still rejected with ErrBadCovariance.
 func MinimumVariance(assets []Asset, cov *matrix.Matrix) (Portfolio, error) {
 	if err := validate(assets, cov); err != nil {
 		return Portfolio{}, err
 	}
 	n := len(assets)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := cov.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return Portfolio{}, fmt.Errorf("%w: non-finite entry %v at (%d,%d)", ErrBadCovariance, v, i, j)
+			}
+		}
+	}
 	ones := make([]float64, n)
 	for i := range ones {
 		ones[i] = 1
 	}
 	sInvOnes, err := matrix.Solve(cov, ones)
 	if err != nil {
-		return Portfolio{}, fmt.Errorf("%w: %v", ErrBadCovariance, err)
+		// Singular but finite: degenerate to equal shares (see above).
+		return EqualShares(assets)
 	}
 	denom := matrix.VecSum(sInvOnes)
-	if denom == 0 {
-		return Portfolio{}, ErrBadCovariance
+	if denom == 0 || math.IsNaN(denom) || math.IsInf(denom, 0) {
+		return EqualShares(assets)
 	}
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = sInvOnes[i] / denom
+		if math.IsNaN(w[i]) || math.IsInf(w[i], 0) {
+			// Near-singular solves can pass the solver's pivot tolerance yet
+			// overflow a component; same degeneracy, same fallback.
+			return EqualShares(assets)
+		}
 	}
 	return Portfolio{Assets: assets, Weights: w}, nil
 }

@@ -224,10 +224,75 @@ func TestValidationErrors(t *testing.T) {
 	if _, err := MinimumVariance(as, matrix.New(3, 3)); !errors.Is(err, ErrBadCovariance) {
 		t.Errorf("shape mismatch: %v", err)
 	}
-	// Singular covariance.
-	sing, _ := matrix.FromRows([][]float64{{1, 1}, {1, 1}})
-	if _, err := MinimumVariance(as, sing); !errors.Is(err, ErrBadCovariance) {
-		t.Errorf("singular: %v", err)
+	// Non-finite covariance entries are rejected before any solve.
+	bad, _ := matrix.FromRows([][]float64{{1, math.NaN()}, {math.NaN(), 1}})
+	if _, err := MinimumVariance(as, bad); !errors.Is(err, ErrBadCovariance) {
+		t.Errorf("nan covariance: %v", err)
+	}
+	inf, _ := matrix.FromRows([][]float64{{math.Inf(1), 0}, {0, 1}})
+	if _, err := MinimumVariance(as, inf); !errors.Is(err, ErrBadCovariance) {
+		t.Errorf("inf covariance: %v", err)
+	}
+}
+
+// TestMinimumVarianceSingularCovariance pins the degenerate-market contract:
+// all-identical hosts (perfectly correlated returns, a singular covariance)
+// have no unique minimum-variance portfolio, so the optimizer must hand back
+// the equal-weight portfolio — finite weights summing to 1, never NaN.
+func TestMinimumVarianceSingularCovariance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cov  [][]float64
+	}{
+		{"identical hosts", [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}},
+		{"zero variance", [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}},
+		{"near-singular", [][]float64{
+			{1, 1 - 1e-15, 1},
+			{1 - 1e-15, 1, 1},
+			{1, 1, 1},
+		}},
+	} {
+		cov, err := matrix.FromRows(tc.cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := assets(2, 2, 2)
+		p, err := MinimumVariance(as, cov)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var sum float64
+		for i, w := range p.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("%s: weight %d = %v", tc.name, i, w)
+			}
+			if math.Abs(w-1.0/3.0) > 1e-9 {
+				t.Errorf("%s: weight %d = %v, want equal share 1/3", tc.name, i, w)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("%s: weights sum to %v", tc.name, sum)
+		}
+	}
+	// The same degeneracy arriving via a real price series: three hosts whose
+	// spot prices moved in lockstep.
+	series := make([][]float64, 3)
+	for i := range series {
+		series[i] = []float64{1, 2, 1.5, 2.5, 1, 2}
+	}
+	cov, err := CovarianceFromSeries(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := MinimumVariance(assets(1, 1, 1), cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("lockstep series: weight %d = %v", i, w)
+		}
 	}
 }
 

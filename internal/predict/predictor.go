@@ -1,0 +1,261 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tycoongrid/internal/mathx"
+	"tycoongrid/internal/pricefeed"
+)
+
+// This file unifies the package's price models — the normal distribution of
+// §4.2, the moving window of §4.1 and the smoothed AR(k) of §4.3/§5.4 —
+// behind one streaming Predictor interface, so schedulers can swap models
+// without knowing their internals. Observations arrive from the live
+// pricefeed; Predict collapses the model's view of the horizon into a
+// mean+quantile distribution.
+
+// Forecast is a price distribution over a horizon, summarized by its first
+// two moments. Quantile treats it as Normal(Mean, Sigma^2), matching the
+// paper's §4.2 guarantee computation.
+type Forecast struct {
+	Mean  float64
+	Sigma float64
+}
+
+// Quantile returns the p-quantile of the forecast price, clipped at zero
+// (spot prices cannot be negative). p must be in (0, 1).
+func (f Forecast) Quantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("predict: quantile %v outside (0,1)", p)
+	}
+	q := f.Mean + f.Sigma*mathx.NormalQuantile(p)
+	if q < 0 {
+		q = 0
+	}
+	return q, nil
+}
+
+// Predictor is a streaming price model: feed it spot-price observations as
+// the market clears, ask it for the price distribution over a horizon.
+// Implementations reject invalid observations (non-finite, out-of-order) at
+// the boundary, like FitAR, and return an error from Predict until they have
+// enough history. Not safe for concurrent use.
+type Predictor interface {
+	Name() string
+	Observe(at time.Time, price float64) error
+	Predict(horizon time.Duration) (Forecast, error)
+}
+
+// PredictorConfig shapes a predictor from the registry.
+type PredictorConfig struct {
+	// Window is the trailing observation count the windowed models keep
+	// (<= 0 means DefaultWindow).
+	Window int
+	// Order is the AR model order (<= 0 means DefaultOrder).
+	Order int
+	// Lambda is the Whittaker-Henderson smoothing strength applied before an
+	// AR fit (< 0 means DefaultLambda; 0 disables smoothing).
+	Lambda float64
+	// Step is the expected observation spacing, used to convert a horizon
+	// into forecast steps (<= 0 means the paper's 10 s reallocation period).
+	Step time.Duration
+}
+
+// Registry defaults.
+const (
+	DefaultWindow = 360 // one hour of 10 s ticks
+	DefaultOrder  = 6   // the paper's AR(6)
+	DefaultLambda = 10.0
+	DefaultStep   = 10 * time.Second
+)
+
+func (c PredictorConfig) withDefaults() PredictorConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Order <= 0 {
+		c.Order = DefaultOrder
+	}
+	if c.Lambda < 0 {
+		c.Lambda = DefaultLambda
+	}
+	if c.Step <= 0 {
+		c.Step = DefaultStep
+	}
+	return c
+}
+
+// predictorMakers is the registry: name -> constructor. Populated at init;
+// RegisterPredictor allows extensions (tests, future models).
+var predictorMakers = map[string]func(PredictorConfig) Predictor{}
+
+// RegisterPredictor adds a named constructor to the registry. Registering a
+// duplicate name panics: two models silently shadowing each other would make
+// experiment results unattributable.
+func RegisterPredictor(name string, make func(PredictorConfig) Predictor) {
+	if name == "" || make == nil {
+		panic("predict: empty predictor registration")
+	}
+	if _, ok := predictorMakers[name]; ok {
+		panic("predict: duplicate predictor " + name)
+	}
+	predictorMakers[name] = make
+}
+
+func init() {
+	RegisterPredictor("normal", func(c PredictorConfig) Predictor {
+		return &normalPredictor{}
+	})
+	RegisterPredictor("window", func(c PredictorConfig) Predictor {
+		c = c.withDefaults()
+		ring, _ := pricefeed.NewRing(c.Window)
+		return &windowPredictor{ring: ring}
+	})
+	RegisterPredictor("ar", func(c PredictorConfig) Predictor {
+		c = c.withDefaults()
+		ring, _ := pricefeed.NewRing(c.Window)
+		return &arPredictor{cfg: c, ring: ring}
+	})
+}
+
+// NewPredictor builds a registered predictor by name.
+func NewPredictor(name string, cfg PredictorConfig) (Predictor, error) {
+	make, ok := predictorMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown predictor %q (have %v)", name, PredictorNames())
+	}
+	return make(cfg), nil
+}
+
+// PredictorNames returns the registered predictor names, sorted.
+func PredictorNames() []string {
+	out := make([]string, 0, len(predictorMakers))
+	for name := range predictorMakers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrInsufficientHistory is wrapped by Predict when the model has not seen
+// enough observations yet; callers fall back to the current price.
+var ErrInsufficientHistory = fmt.Errorf("predict: insufficient history")
+
+// normalPredictor is the §4.2 model: the price is Normal(mu, sigma) with
+// moments accumulated over the whole stream. "The advantage of this method
+// is that no data points need to be stored" — a running Welford fold, so
+// Observe is O(1) and the forecast is horizon-independent.
+type normalPredictor struct {
+	n    int
+	mean float64
+	m2   float64
+	last time.Time
+	seen bool
+}
+
+func (p *normalPredictor) Name() string { return "normal" }
+
+func (p *normalPredictor) Observe(at time.Time, price float64) error {
+	if math.IsNaN(price) || math.IsInf(price, 0) {
+		return fmt.Errorf("%w: %v", pricefeed.ErrNonFinite, price)
+	}
+	if price < 0 {
+		return fmt.Errorf("%w: %v", pricefeed.ErrNegative, price)
+	}
+	if p.seen && !at.After(p.last) {
+		return fmt.Errorf("%w: %v <= %v", pricefeed.ErrOutOfOrder, at, p.last)
+	}
+	p.seen = true
+	p.last = at
+	p.n++
+	d := price - p.mean
+	p.mean += d / float64(p.n)
+	p.m2 += d * (price - p.mean)
+	return nil
+}
+
+func (p *normalPredictor) Predict(time.Duration) (Forecast, error) {
+	if p.n < 2 {
+		return Forecast{}, fmt.Errorf("%w: normal model has %d points, want >= 2", ErrInsufficientHistory, p.n)
+	}
+	return Forecast{Mean: p.mean, Sigma: math.Sqrt(p.m2 / float64(p.n-1))}, nil
+}
+
+// windowPredictor is the §4.1 moving-window model: mean and deviation of the
+// trailing Window observations. It tracks regime shifts the all-time normal
+// model averages away.
+type windowPredictor struct {
+	ring *pricefeed.Ring
+}
+
+func (p *windowPredictor) Name() string { return "window" }
+
+func (p *windowPredictor) Observe(at time.Time, price float64) error {
+	return p.ring.Observe(at, price)
+}
+
+func (p *windowPredictor) Predict(time.Duration) (Forecast, error) {
+	vs := p.ring.Prices()
+	if len(vs) < 2 {
+		return Forecast{}, fmt.Errorf("%w: window has %d points, want >= 2", ErrInsufficientHistory, len(vs))
+	}
+	mu, sigma := meanStd(vs)
+	return Forecast{Mean: mu, Sigma: sigma}, nil
+}
+
+// arPredictor is the §4.3/§5.4 model: smooth the trailing window, fit AR(k),
+// and iterate the forecast horizon/step steps ahead. Sigma is the window's
+// sample deviation — the market's recent variability around the AR path.
+type arPredictor struct {
+	cfg  PredictorConfig
+	ring *pricefeed.Ring
+}
+
+func (p *arPredictor) Name() string { return "ar" }
+
+func (p *arPredictor) Observe(at time.Time, price float64) error {
+	return p.ring.Observe(at, price)
+}
+
+func (p *arPredictor) Predict(horizon time.Duration) (Forecast, error) {
+	vs := p.ring.Prices()
+	if need := 2*p.cfg.Order + 1; len(vs) < need {
+		return Forecast{}, fmt.Errorf("%w: AR(%d) has %d points, want >= %d",
+			ErrInsufficientHistory, p.cfg.Order, len(vs), need)
+	}
+	steps := int(horizon / p.cfg.Step)
+	if steps < 1 {
+		steps = 1
+	}
+	// Iterating further than the window itself extrapolates pure model bias;
+	// clamp so a huge horizon degrades to the window-length forecast.
+	if steps > len(vs) {
+		steps = len(vs)
+	}
+	fc, err := NewWindowedSmoothedForecaster(p.cfg.Order, p.cfg.Lambda, p.cfg.Window).Forecast(vs, steps)
+	if err != nil {
+		return Forecast{}, err
+	}
+	mean := fc[len(fc)-1]
+	if mean < 0 {
+		mean = 0 // an explosive fit can dip below zero; prices cannot
+	}
+	_, sigma := meanStd(vs)
+	return Forecast{Mean: mean, Sigma: sigma}, nil
+}
+
+// meanStd returns the sample mean and standard deviation of vs (len >= 2).
+func meanStd(vs []float64) (mu, sigma float64) {
+	for _, v := range vs {
+		mu += v
+	}
+	mu /= float64(len(vs))
+	var s2 float64
+	for _, v := range vs {
+		s2 += (v - mu) * (v - mu)
+	}
+	return mu, math.Sqrt(s2 / float64(len(vs)-1))
+}

@@ -1,0 +1,256 @@
+// Package pricefeed collects live spot-price observations from the per-host
+// auctions into bounded rings, so the prediction models (internal/predict)
+// and scheduling strategies (internal/strategy) see the same history the
+// market actually produced rather than an offline trace. Each host gets one
+// Ring; a Hub fans observations in from the auction's Observe injection
+// point (the same hook the trace recorder uses).
+//
+// The ring is a validation boundary in the spirit of predict.FitAR: a single
+// NaN, infinite price, out-of-order tick, or duplicate timestamp would
+// silently poison every downstream autocorrelation and covariance, so all
+// four are rejected here with typed errors.
+package pricefeed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by Ring.Observe.
+var (
+	ErrNonFinite  = errors.New("pricefeed: non-finite price")
+	ErrNegative   = errors.New("pricefeed: negative price")
+	ErrOutOfOrder = errors.New("pricefeed: observation older than last")
+	ErrDuplicate  = errors.New("pricefeed: duplicate observation timestamp")
+)
+
+// Sample is one spot-price observation.
+type Sample struct {
+	At    time.Time
+	Price float64
+}
+
+// Ring is a bounded, chronologically ordered buffer of spot-price samples.
+// Safe for concurrent use: replicated experiments tick worlds from several
+// goroutines, and the observability endpoints may read while the market
+// writes.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Sample
+	next int // index the next sample is written to
+	n    int // samples currently held (<= len(buf))
+	last time.Time
+	seen bool // at least one sample accepted (last is meaningful)
+}
+
+// NewRing returns a ring holding the trailing capacity samples.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("pricefeed: ring capacity %d, want >= 1", capacity)
+	}
+	return &Ring{buf: make([]Sample, capacity)}, nil
+}
+
+// Observe appends one sample. Non-finite or negative prices, samples older
+// than the newest held one, and duplicate timestamps are rejected with a
+// typed error and leave the ring unchanged.
+func (r *Ring) Observe(at time.Time, price float64) error {
+	if math.IsNaN(price) || math.IsInf(price, 0) {
+		return fmt.Errorf("%w: %v", ErrNonFinite, price)
+	}
+	if price < 0 {
+		return fmt.Errorf("%w: %v", ErrNegative, price)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen {
+		if at.Before(r.last) {
+			return fmt.Errorf("%w: %v < %v", ErrOutOfOrder, at, r.last)
+		}
+		if at.Equal(r.last) {
+			return fmt.Errorf("%w: %v", ErrDuplicate, at)
+		}
+	}
+	r.buf[r.next] = Sample{At: at, Price: price}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.last = at
+	r.seen = true
+	return nil
+}
+
+// Len returns the number of samples currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Capacity returns the maximum number of samples the ring retains.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Samples returns the held samples oldest first.
+func (r *Ring) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Prices returns just the price values, oldest first — the shape the
+// predictors and the portfolio covariance estimator consume.
+func (r *Ring) Prices() []float64 {
+	samples := r.Samples()
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Price
+	}
+	return out
+}
+
+// Last returns the newest sample, if any.
+func (r *Ring) Last() (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seen {
+		return Sample{}, false
+	}
+	idx := r.next - 1
+	if idx < 0 {
+		idx += len(r.buf)
+	}
+	return r.buf[idx], true
+}
+
+// DefaultCapacity is the per-host history the hub keeps when none is
+// configured: two hours of the paper's 10-second reallocation ticks.
+const DefaultCapacity = 720
+
+// Hub fans per-host price observations into one Ring per host.
+type Hub struct {
+	mu       sync.Mutex
+	capacity int
+	rings    map[string]*Ring
+	rejected uint64
+}
+
+// NewHub returns a hub whose rings hold capacity samples each
+// (<= 0 means DefaultCapacity).
+func NewHub(capacity int) *Hub {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Hub{capacity: capacity, rings: make(map[string]*Ring)}
+}
+
+// Ring returns the ring for hostID, creating it on first use.
+func (h *Hub) Ring(hostID string) *Ring {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r, ok := h.rings[hostID]
+	if !ok {
+		r, _ = NewRing(h.capacity) // capacity validated in NewHub
+		h.rings[hostID] = r
+	}
+	return r
+}
+
+// Observer returns a callback with the auction Market.Observe signature that
+// records hostID's clears into its ring. Samples the ring's boundary rejects
+// (the market never produces them; a bug or clock glitch might) are counted,
+// not propagated — the feed is advisory and must not disturb the market.
+func (h *Hub) Observer(hostID string) func(price float64, at time.Time) {
+	ring := h.Ring(hostID)
+	return func(price float64, at time.Time) {
+		if err := ring.Observe(at, price); err != nil {
+			h.mu.Lock()
+			h.rejected++
+			h.mu.Unlock()
+			mSamplesRejected.Inc()
+			return
+		}
+		mSamplesRecorded.Inc()
+	}
+}
+
+// Rejected returns how many observations the hub's rings refused.
+func (h *Hub) Rejected() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rejected
+}
+
+// Hosts returns the hosts with a ring, sorted.
+func (h *Hub) Hosts() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.rings))
+	for id := range h.rings {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// History returns hostID's trailing prices, oldest first (nil when the host
+// has no ring yet). max > 0 keeps only the newest max values.
+func (h *Hub) History(hostID string, max int) []float64 {
+	h.mu.Lock()
+	r, ok := h.rings[hostID]
+	h.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	vs := r.Prices()
+	if max > 0 && len(vs) > max {
+		vs = vs[len(vs)-max:]
+	}
+	return vs
+}
+
+// MeanHistory returns the tail-aligned mean price series across the given
+// hosts: element i averages the hosts' i-th newest common observation, with
+// the result oldest first. Hosts without samples are skipped; the series
+// length is the shortest participating history. This is the partition-level
+// price signal a meta-scheduler feeds its selection strategy.
+func (h *Hub) MeanHistory(hostIDs []string, max int) []float64 {
+	series := make([][]float64, 0, len(hostIDs))
+	minLen := -1
+	for _, id := range hostIDs {
+		vs := h.History(id, max)
+		if len(vs) == 0 {
+			continue
+		}
+		series = append(series, vs)
+		if minLen < 0 || len(vs) < minLen {
+			minLen = len(vs)
+		}
+	}
+	if len(series) == 0 || minLen <= 0 {
+		return nil
+	}
+	out := make([]float64, minLen)
+	for _, vs := range series {
+		tail := vs[len(vs)-minLen:]
+		for i, v := range tail {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(series))
+	}
+	return out
+}

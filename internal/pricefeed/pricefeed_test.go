@@ -1,0 +1,172 @@
+package pricefeed
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(i int) time.Time { return t0.Add(time.Duration(i) * 10 * time.Second) }
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewRing(-3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRingRejectsBadSamples(t *testing.T) {
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Observe(at(0), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		at    time.Time
+		price float64
+		want  error
+	}{
+		{"nan", at(1), math.NaN(), ErrNonFinite},
+		{"+inf", at(1), math.Inf(1), ErrNonFinite},
+		{"-inf", at(1), math.Inf(-1), ErrNonFinite},
+		{"negative", at(1), -0.1, ErrNegative},
+		{"out-of-order", at(0).Add(-time.Second), 1, ErrOutOfOrder},
+		{"duplicate", at(0), 1, ErrDuplicate},
+	}
+	for _, c := range cases {
+		if err := r.Observe(c.at, c.price); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	if r.Len() != 1 {
+		t.Errorf("rejected samples mutated the ring: len = %d", r.Len())
+	}
+}
+
+func TestRingBoundedAndChronological(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := r.Observe(at(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	got := r.Prices()
+	want := []float64{6, 7, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prices = %v, want %v", got, want)
+		}
+	}
+	samples := r.Samples()
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].At.After(samples[i-1].At) {
+			t.Fatalf("samples not strictly increasing: %v", samples)
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.Price != 9 {
+		t.Errorf("last = %+v ok=%v", last, ok)
+	}
+}
+
+func TestHubObserverAndHistory(t *testing.T) {
+	h := NewHub(16)
+	obsA := h.Observer("hA")
+	obsB := h.Observer("hB")
+	for i := 0; i < 6; i++ {
+		obsA(float64(i), at(i))
+		obsB(10+float64(i), at(i))
+	}
+	// The B ring started one tick later than A in many real runs; model that
+	// by giving A two extra early points for the tail alignment check.
+	if got := h.History("hA", 3); len(got) != 3 || got[2] != 5 {
+		t.Errorf("History = %v", got)
+	}
+	if got := h.History("ghost", 0); got != nil {
+		t.Errorf("ghost history = %v", got)
+	}
+	hosts := h.Hosts()
+	if len(hosts) != 2 || hosts[0] != "hA" || hosts[1] != "hB" {
+		t.Errorf("hosts = %v", hosts)
+	}
+	mean := h.MeanHistory([]string{"hA", "hB"}, 0)
+	if len(mean) != 6 {
+		t.Fatalf("mean len = %d", len(mean))
+	}
+	// Element i averages i and 10+i.
+	if mean[0] != 5 || mean[5] != 10 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Rejections are counted, not propagated.
+	obsA(math.NaN(), at(100))
+	obsA(1, at(0)) // out of order
+	if h.Rejected() != 2 {
+		t.Errorf("rejected = %d, want 2", h.Rejected())
+	}
+}
+
+func TestHubMeanHistoryAlignsTails(t *testing.T) {
+	h := NewHub(16)
+	a := h.Observer("a")
+	b := h.Observer("b")
+	for i := 0; i < 8; i++ {
+		a(1, at(i))
+	}
+	for i := 5; i < 8; i++ {
+		b(3, at(i))
+	}
+	mean := h.MeanHistory([]string{"a", "b", "empty"}, 0)
+	if len(mean) != 3 {
+		t.Fatalf("mean len = %d, want 3 (shortest history)", len(mean))
+	}
+	for _, v := range mean {
+		if v != 2 {
+			t.Fatalf("mean = %v, want all 2", mean)
+		}
+	}
+	if h.MeanHistory([]string{"empty"}, 0) != nil {
+		t.Error("mean over empty hosts should be nil")
+	}
+}
+
+// TestRingConcurrentFanIn drives one hub from several goroutines under the
+// race detector: the acceptance criterion for `go test -race` with the new
+// pricefeed fan-in.
+func TestRingConcurrentFanIn(t *testing.T) {
+	h := NewHub(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := h.Observer("shared")
+			for i := 0; i < 200; i++ {
+				obs(float64(i), at(g*1000+i))
+				_ = h.History("shared", 10)
+				_ = h.MeanHistory([]string{"shared"}, 5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	samples := h.Ring("shared").Samples()
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].At.After(samples[i-1].At) {
+			t.Fatal("concurrent fan-in broke chronological order")
+		}
+	}
+}
