@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-check fuzz-short bench chaos trace-demo lint check
+.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke chaos trace-demo lint check
 
 all: build test
 
@@ -16,8 +16,10 @@ test:
 # The metrics subsystem is lock-light by design; the race target is the gate
 # that keeps it honest (see internal/metrics/stress_test.go). With the
 # replication runner driving whole simulated worlds concurrently
-# (internal/experiment/replicate.go), this now also covers the parallel
-# experiment path end to end.
+# (internal/experiment/replicate.go) and the sharded market plane fanning
+# bid application, batch clears and two-phase bank transfers across shard
+# goroutines (internal/marketplane, internal/bank two-phase primitives,
+# internal/sim FanOut), this covers every concurrent path end to end.
 race:
 	$(GO) test -race ./...
 
@@ -51,6 +53,18 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Horizontal-scale benchmark: the 10000-host, million-bid workload at shard
+# counts 1/2/4/8, recording throughput, clear rate and bid latency into
+# BENCH_scale.json (the committed trajectory artifact).
+bench-scale:
+	$(GO) run ./cmd/marketbench -hosts 10000 -jobs 1000000 -shards 1,2,4,8
+
+# Fast benchmark-mode health check: a small sharded run whose money
+# conservation, escrow-drained and no-orphaned-holds invariants must all
+# pass. Wired into `check`; the JSON artifact is not overwritten.
+scale-smoke:
+	$(GO) run ./cmd/marketbench -hosts 200 -jobs 2000 -shards 4 -bench-out ""
+
 # Observability smoke: run the quickstart under tracing and assert the job's
 # lifecycle timeline came back non-empty — the "completed" event proves the
 # whole funded -> bid -> placed -> completed chain recorded.
@@ -66,4 +80,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet lint race-check fuzz-short chaos trace-demo
+check: vet lint race-check fuzz-short chaos trace-demo scale-smoke

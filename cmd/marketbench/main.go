@@ -15,6 +15,13 @@
 //	marketbench -run figure7        # window approximation accuracy
 //	marketbench -seed 2006          # alternate RNG seed
 //	marketbench -reps 8 -parallel 4 # 8 seeded replications on 4 workers
+//
+// Horizontal-scale benchmark mode (enabled by -hosts > 0): pushes a synthetic
+// bid workload through the sharded market plane at each requested shard count
+// and records throughput, clear rate and bid latency into BENCH_scale.json:
+//
+//	marketbench -hosts 10000 -jobs 1000000 -shards 1,2,4,8
+//	marketbench -hosts 200 -jobs 2000 -shards 4 -bench-out /dev/null  # smoke
 package main
 
 import (
@@ -43,6 +50,13 @@ func main() {
 		"strategies experiment: comma-separated matchmaking strategies to compare (default all registered)")
 	horizon := flag.Duration("horizon", 0,
 		"strategies experiment: forecast horizon (0 = experiment default)")
+	benchHosts := flag.Int("hosts", 0,
+		"scale benchmark: host markets (> 0 switches to benchmark mode)")
+	benchJobs := flag.Int("jobs", 1_000_000, "scale benchmark: bids pushed through the plane")
+	benchShards := flag.String("shards", "1,2,4,8",
+		"scale benchmark: comma-separated auctioneer shard counts")
+	benchOut := flag.String("bench-out", "BENCH_scale.json",
+		"scale benchmark: output JSON path (empty = don't write)")
 	flag.Parse()
 	if *experimentAlias != "" {
 		run = experimentAlias
@@ -50,9 +64,17 @@ func main() {
 	tracing.InitSlog("marketbench", os.Stderr, slog.LevelWarn)
 	tracing.Default().SetSampleRatio(*traceRatio)
 
+	if *benchHosts > 0 {
+		if err := runScaleBench(*benchHosts, *benchJobs, *benchShards, *benchOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "marketbench: scale bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	names := []string{
 		"table1", "table2", "figure3", "figure4", "figure5", "figure6", "figure7",
-		"strategies",
+		"strategies", "scale",
 		"ablation-scheduler", "ablation-cap", "ablation-smoothing", "ablation-interval",
 		"sla",
 	}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tycoongrid/internal/marketplane"
+)
+
+// scaleBenchFile is the serialized form of one benchmark sweep — the
+// committed BENCH_scale.json artifact.
+type scaleBenchFile struct {
+	Hosts int                       `json:"hosts"`
+	Jobs  int                       `json:"jobs"`
+	Seed  int64                     `json:"seed"`
+	Runs  []marketplane.BenchResult `json:"runs"`
+}
+
+// runScaleBench executes the horizontal-scale benchmark at each requested
+// shard count, prints a summary table, and writes the sweep to outPath.
+func runScaleBench(hosts, jobs int, shardsCSV, outPath string, seed int64) error {
+	var shardCounts []int
+	for _, f := range strings.Split(shardsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", f)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	if len(shardCounts) == 0 {
+		return fmt.Errorf("empty -shards list")
+	}
+
+	file := scaleBenchFile{Hosts: hosts, Jobs: jobs, Seed: seed}
+	var baseline float64 // 1-shard jobs/sec
+	fmt.Printf("%-7s %12s %12s %14s %14s %9s\n",
+		"shards", "jobs/sec", "clears/sec", "p50 bid (us)", "p99 bid (us)", "speedup")
+	for _, n := range shardCounts {
+		res, err := marketplane.RunScaleBench(marketplane.BenchConfig{
+			Hosts: hosts, Jobs: jobs, Shards: n, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		if n == 1 {
+			baseline = res.JobsPerSec
+		}
+		if baseline > 0 {
+			res.SpeedupVsOneShard = res.JobsPerSec / baseline
+		}
+		file.Runs = append(file.Runs, res)
+		speedup := "-"
+		if res.SpeedupVsOneShard > 0 {
+			speedup = fmt.Sprintf("%.2fx", res.SpeedupVsOneShard)
+		}
+		fmt.Printf("%-7d %12.0f %12.0f %14.1f %14.1f %9s\n",
+			n, res.JobsPerSec, res.ClearsPerSec, res.P50BidMicros, res.P99BidMicros,
+			speedup)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 package agent
 
 import (
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"sort"
@@ -161,10 +162,21 @@ func (j *Job) CostRate() float64 {
 	return j.Charged.Credits() / d.Hours()
 }
 
+// Ledger is the banking surface the agent needs: account creation, job
+// sub-accounts, balance reads and owner-authorized moves. *bank.Bank
+// satisfies it, and so does marketplane.ShardedBank — the agent neither
+// knows nor cares how accounts are partitioned across bank shards.
+type Ledger interface {
+	CreateAccount(id bank.AccountID, owner ed25519.PublicKey) (*bank.Account, error)
+	CreateSubAccount(parent bank.AccountID, child string, owner ed25519.PublicKey) (*bank.Account, error)
+	Balance(id bank.AccountID) (bank.Amount, error)
+	MoveInternal(owner *pki.Identity, from, to bank.AccountID, amount bank.Amount, kind bank.EntryKind, memo string) error
+}
+
 // Config wires an Agent.
 type Config struct {
 	Cluster  *grid.Cluster
-	Bank     *bank.Bank
+	Bank     Ledger
 	Identity *pki.Identity  // broker identity (owns the broker account)
 	Account  bank.AccountID // broker bank account tokens pay into
 	Verifier *token.Verifier

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"tycoongrid/internal/bank"
+	"tycoongrid/internal/mathx"
 	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/tracing"
 )
@@ -250,32 +251,25 @@ func (m *Market) PricePerMHz() float64 {
 func (m *Market) PriceExcluding(bidder BidderID) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var sum float64
-	for _, id := range m.sortedBiddersLocked() {
+	sum := mathx.SortedSum(m.bidderIDsLocked(), func(id BidderID) (float64, bool) {
 		b := m.bids[id]
-		if id == bidder {
-			continue
-		}
-		if b.remaining > 0 {
-			sum += b.rate
-		}
-	}
+		return b.rate, id != bidder && b.remaining > 0
+	})
 	if sum < m.reserve {
 		sum = m.reserve
 	}
 	return sum
 }
 
-// sortedBiddersLocked returns the bidder ids in sorted order. Float sums over
-// the bids must fold in a fixed order: map-order summation perturbs the spot
-// price in the last bit, and the market amplifies that into visibly different
-// traces run over run.
-func (m *Market) sortedBiddersLocked() []BidderID {
+// bidderIDsLocked collects the bidder ids in map order; mathx.SortedSum
+// sorts them before folding. Float sums over the bids must fold in a fixed
+// order: map-order summation perturbs the spot price in the last bit, and
+// the market amplifies that into visibly different traces run over run.
+func (m *Market) bidderIDsLocked() []BidderID {
 	ids := make([]BidderID, 0, len(m.bids))
 	for id := range m.bids {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -305,13 +299,10 @@ func (m *Market) Bidders() int {
 }
 
 func (m *Market) totalRateLocked() float64 {
-	var sum float64
-	for _, id := range m.sortedBiddersLocked() {
-		if b := m.bids[id]; b.remaining > 0 {
-			sum += b.rate
-		}
-	}
-	return sum
+	return mathx.SortedSum(m.bidderIDsLocked(), func(id BidderID) (float64, bool) {
+		b := m.bids[id]
+		return b.rate, b.remaining > 0
+	})
 }
 
 // Tick advances the market clock to now, charging each active bidder

@@ -128,6 +128,8 @@ type Bank struct {
 	clock     sim.Clock
 	accounts  map[AccountID]*Account
 	nonces    map[string]bool
+	holds     map[string]*Hold // prepared two-phase debits by tx (twophase.go)
+	credited  map[string]bool  // applied two-phase credits by tx (idempotence)
 	ledger    []Entry
 	seq       uint64
 	ledgerCap int // 0 = unbounded
@@ -166,6 +168,8 @@ func New(id *pki.Identity, clock sim.Clock, opts ...Option) *Bank {
 		clock:    clock,
 		accounts: make(map[AccountID]*Account),
 		nonces:   make(map[string]bool),
+		holds:    make(map[string]*Hold),
+		credited: make(map[string]bool),
 		tracer:   tracing.Default(),
 	}
 	for _, o := range opts {

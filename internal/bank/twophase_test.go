@@ -1,0 +1,162 @@
+package bank
+
+import (
+	"errors"
+	"testing"
+
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+)
+
+func twoPhaseFixture(t *testing.T) (*Bank, *pki.Identity) {
+	t.Helper()
+	ca, err := pki.NewDeterministicCA("/CN=CA", [32]byte{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankID, err := ca.IssueDeterministic("/CN=Bank", [32]byte{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ca.IssueDeterministic("/CN=Owner", [32]byte{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(bankID, sim.NewEngine())
+	if _, err := b.CreateAccount("alice", id.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateAccount("bob", id.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deposit("alice", 100*Credit, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	return b, id
+}
+
+func TestTwoPhaseCommitPath(t *testing.T) {
+	b, id := twoPhaseFixture(t)
+	if err := b.PrepareDebit(id, "alice", "bob", 30*Credit, "tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := b.Balance("alice"); bal != 70*Credit {
+		t.Fatalf("alice after prepare = %v, want 70", bal)
+	}
+	if got := b.HeldTotal(); got != 30*Credit {
+		t.Fatalf("held = %v, want 30", got)
+	}
+	// Balances alone no longer conserve; balances + holds do.
+	if b.TotalMoney()+b.HeldTotal() != 100*Credit {
+		t.Fatal("money supply changed by prepare")
+	}
+	if err := b.FinalizeDebit("tx1"); !errors.Is(err, ErrHoldState) {
+		t.Fatalf("finalize before commit = %v, want ErrHoldState", err)
+	}
+	if err := b.MarkCommitted("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AbortDebit("tx1"); !errors.Is(err, ErrHoldState) {
+		t.Fatalf("abort after commit = %v, want ErrHoldState", err)
+	}
+	if err := b.CreditPrepared("bob", 30*Credit, "tx1", "pay"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: a recovery replay must not double-credit.
+	if err := b.CreditPrepared("bob", 30*Credit, "tx1", "pay"); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := b.Balance("bob"); bal != 30*Credit {
+		t.Fatalf("bob = %v, want 30", bal)
+	}
+	if err := b.FinalizeDebit("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	b.ForgetCredit("tx1")
+	if len(b.Holds()) != 0 {
+		t.Fatal("hold survived finalize")
+	}
+	if b.TotalMoney() != 100*Credit || b.HeldTotal() != 0 {
+		t.Fatalf("supply after commit = %v + %v, want 100 + 0", b.TotalMoney(), b.HeldTotal())
+	}
+	// After ForgetCredit the tx id is reusable-looking but the hold is gone.
+	if err := b.FinalizeDebit("tx1"); !errors.Is(err, ErrUnknownHold) {
+		t.Fatalf("double finalize = %v, want ErrUnknownHold", err)
+	}
+}
+
+func TestTwoPhaseAbortPath(t *testing.T) {
+	b, id := twoPhaseFixture(t)
+	if err := b.PrepareDebit(id, "alice", "bob", 40*Credit, "tx2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AbortDebit("tx2"); err != nil {
+		t.Fatal(err)
+	}
+	if bal, _ := b.Balance("alice"); bal != 100*Credit {
+		t.Fatalf("alice after abort = %v, want 100", bal)
+	}
+	if len(b.Holds()) != 0 || b.HeldTotal() != 0 {
+		t.Fatal("abort left a hold behind")
+	}
+	if err := b.AbortDebit("tx2"); !errors.Is(err, ErrUnknownHold) {
+		t.Fatalf("double abort = %v, want ErrUnknownHold", err)
+	}
+}
+
+func TestPrepareDebitValidation(t *testing.T) {
+	b, id := twoPhaseFixture(t)
+	if err := b.PrepareDebit(id, "alice", "bob", 200*Credit, "tx3"); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdraft prepare = %v, want ErrInsufficientFunds", err)
+	}
+	if err := b.PrepareDebit(id, "alice", "bob", 10*Credit, "tx4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PrepareDebit(id, "alice", "bob", 10*Credit, "tx4"); !errors.Is(err, ErrDuplicateHold) {
+		t.Fatalf("duplicate tx = %v, want ErrDuplicateHold", err)
+	}
+	other, err := pki.NewCA("/CN=Other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	intruder, err := other.Issue("/CN=Intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PrepareDebit(intruder, "alice", "bob", 1*Credit, "tx5"); !errors.Is(err, ErrBadAuthorization) {
+		t.Fatalf("foreign identity prepare = %v, want ErrBadAuthorization", err)
+	}
+}
+
+func TestPrepareTransferConsumesNonce(t *testing.T) {
+	b, id := twoPhaseFixture(t)
+	req := TransferRequest{From: "alice", To: "bob", Amount: 5 * Credit, Nonce: "n-1"}
+	req.Sig = id.Sign(req.SigningBytes())
+	if err := b.PrepareTransfer(req); err != nil {
+		t.Fatal(err)
+	}
+	// The nonce is consumed at prepare time: a replay fails even before the
+	// transfer completes.
+	if err := b.AbortDebit("n-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PrepareTransfer(req); !errors.Is(err, ErrNonceReused) {
+		t.Fatalf("replay = %v, want ErrNonceReused", err)
+	}
+}
+
+func TestCreateChildAccountSkipsParentCheck(t *testing.T) {
+	b, id := twoPhaseFixture(t)
+	// Parent "broker" does not exist on this bank — the sharded coordinator
+	// verified it elsewhere.
+	a, err := b.CreateChildAccount("broker", "job-1", id.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "broker/job-1" || a.Parent != "broker" {
+		t.Fatalf("child = %+v", a)
+	}
+	if _, err := b.CreateSubAccount("broker2", "job-1", id.Public()); !errors.Is(err, ErrNoAccount) {
+		t.Fatalf("CreateSubAccount without parent = %v, want ErrNoAccount", err)
+	}
+}

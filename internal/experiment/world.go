@@ -71,6 +71,11 @@ type WorldConfig struct {
 	// process-wide tracing.Default(); replication workers inject a private
 	// (and usually unsampled) tracer so concurrent worlds share nothing.
 	Tracer *tracing.Tracer
+	// Shards partitions the cluster's host markets across this many
+	// marketplane auctioneer shards. 0 or 1 is the legacy single-auctioneer
+	// tick, bit-for-bit identical to pre-shard releases; >= 2 enables the
+	// phased sharded tick (see grid.Config.Shards).
+	Shards int
 }
 
 // PaperWorld returns the paper's §5.2 setup: 30 dual-processor hosts, five
@@ -137,6 +142,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Interval:       cfg.Interval,
 		PurgeIdleAfter: cfg.PurgeIdleAfter,
 		Tracer:         tr,
+		Shards:         cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,12 @@
+package fault
+
+import "tycoongrid/internal/fault/failpoint"
+
+// Points is re-exported from the failpoint leaf subpackage, which exists so
+// that code underneath the grid can use fail points without importing this
+// package's grid dependency. Importers of fault keep the short spelling.
+type Points = failpoint.Points
+
+// NewPoints returns a decider that fires with the given probability per Hit
+// call. See failpoint.NewPoints.
+func NewPoints(seed int64, rate float64) *Points { return failpoint.NewPoints(seed, rate) }

@@ -17,6 +17,7 @@ import (
 
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/bank"
+	"tycoongrid/internal/marketplane"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/vm"
@@ -87,6 +88,13 @@ type Config struct {
 	// experiments inject a per-world tracer so concurrent worlds never share
 	// scope stacks.
 	Tracer *tracing.Tracer
+	// Shards partitions the host markets across this many marketplane
+	// auctioneer shards. 0 or 1 keeps the legacy interleaved tick —
+	// bit-for-bit identical to previous releases. >= 2 switches to the
+	// phased tick: phase one clears every up host's market through the
+	// plane (concurrently across shards), phase two applies charges,
+	// refunds and task progress sequentially in host order.
+	Shards int
 }
 
 // Cluster is the simulated Tycoon network.
@@ -98,6 +106,7 @@ type Cluster struct {
 	order    []string // deterministic host iteration order
 	taskSeq  int
 	tracer   *tracing.Tracer
+	plane    *marketplane.Plane // non-nil when cfg.Shards >= 2
 
 	// OnCharge and OnRefund, when set, observe every market charge/refund;
 	// the agent layer uses them to move real bank money.
@@ -186,8 +195,23 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		c.order = append(c.order, spec.ID)
 	}
 	sort.Strings(c.order)
+	if cfg.Shards >= 2 {
+		markets := make([]marketplane.HostMarket, len(c.order))
+		for i, id := range c.order {
+			markets[i] = c.hosts[id].Market
+		}
+		p, err := marketplane.New(marketplane.Config{Shards: cfg.Shards, Markets: markets})
+		if err != nil {
+			return nil, err
+		}
+		c.plane = p
+	}
 	return c, nil
 }
+
+// Plane returns the market plane driving the sharded tick, or nil when the
+// cluster runs the legacy single-auctioneer path (Shards <= 1).
+func (c *Cluster) Plane() *marketplane.Plane { return c.plane }
 
 // Start begins the reallocation ticker. It must be called once before
 // running the simulation.
@@ -313,6 +337,10 @@ func (h *Host) RunningTasks() int { return len(h.tasks) }
 
 // tick advances every market and every task by one interval.
 func (c *Cluster) tick() {
+	if c.plane != nil {
+		c.tickPhased()
+		return
+	}
 	now := c.engine.Now()
 	running, busyHosts, downHosts := 0, 0, 0
 	for _, id := range c.order {
@@ -330,6 +358,51 @@ func (c *Cluster) tick() {
 		if c.OnRefund != nil {
 			for _, r := range refunds {
 				c.OnRefund(id, r)
+			}
+		}
+		c.advanceTasks(h, now)
+		if c.purge > 0 {
+			h.VMs.PurgeIdleOlderThan(now.Add(-c.purge))
+		}
+		if n := len(h.tasks); n > 0 {
+			running += n
+			busyHosts++
+		}
+	}
+	mTicks.Inc()
+	mRunningTasks.Set(float64(running))
+	mHostUtilization.Set(float64(busyHosts) / float64(len(c.order)))
+	mHostsDown.Set(float64(downHosts))
+}
+
+// tickPhased is the sharded tick. Phase one batch-clears every up host's
+// market through the plane, shards running concurrently; phase two delivers
+// charges and refunds and advances task progress sequentially in host order,
+// exactly as the legacy tick does. The observable difference from the legacy
+// interleaving: a rebid placed by an OnDone callback during phase two lands
+// on a market that already cleared this tick, so it starts accruing at the
+// next one — whereas the legacy path lets a rebid on a later-ordered host
+// clear within the same sweep. Output is deterministic for a fixed shard
+// count but not bit-identical to the Shards <= 1 path.
+func (c *Cluster) tickPhased() {
+	now := c.engine.Now()
+	results := c.plane.TickAll(now, func(id string) bool { return c.hosts[id].down })
+	running, busyHosts, downHosts := 0, 0, 0
+	for i, id := range c.order {
+		h := c.hosts[id]
+		if h.down {
+			downHosts++
+			continue
+		}
+		r := results[i]
+		if c.OnCharge != nil {
+			for _, ch := range r.Charges {
+				c.OnCharge(id, ch)
+			}
+		}
+		if c.OnRefund != nil {
+			for _, rf := range r.Refunds {
+				c.OnRefund(id, rf)
 			}
 		}
 		c.advanceTasks(h, now)

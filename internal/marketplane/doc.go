@@ -1,0 +1,29 @@
+// Package marketplane is the horizontal-scaling layer of the market: it
+// shards the per-host auctioneers and the bank across N in-process
+// partitions so clears and transfers proceed under N independent locks
+// instead of one.
+//
+// The shape follows the two systems the paper builds on. Tycoon (Lai et al.,
+// cs/0412038) runs one auctioneer per host with only a thin stateless index
+// on top, so the market itself has no central lock to saturate; Plane
+// reproduces that by hash-partitioning host markets across shards, each
+// clearing its hosts once per tick in a single batch (instead of recomputing
+// prices per bid) and publishing spot prices to a lock-free cache that bid
+// placement reads without touching the auctioneer. GridBank (Barmouta &
+// Buyya, cs/0210002) distributes accounting across independent bank servers;
+// ShardedBank reproduces that by hash-partitioning accounts across bank
+// shards and moving money between shards with a two-phase prepare/commit
+// protocol (bank/twophase.go) whose holds are part of the money supply — so
+// conservation stays exactly checkable at every instant, under concurrent
+// clears and under injected shard crashes.
+//
+// Determinism contract: a 1-shard plane and a 1-shard bank take the exact
+// single-lock code paths of auction.Market and bank.Bank (sim.FanOut runs
+// n == 1 inline), so -shards 1 output is bit-for-bit identical to the
+// unsharded configuration and the replication guarantees of the experiment
+// harness survive. With N >= 2 shards, per-shard work runs concurrently but
+// every cross-shard merge happens in global host order, so simulation
+// results are a deterministic function of (seed, N) — independent of
+// goroutine scheduling — though not bit-identical across different N, since
+// batching changes when prices are read.
+package marketplane

@@ -1,0 +1,166 @@
+package marketplane
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/auction"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
+)
+
+func testMarkets(t *testing.T, n int) []HostMarket {
+	t.Helper()
+	quiet := tracing.New(tracing.WithCapacity(8))
+	quiet.SetSampleRatio(0)
+	out := make([]HostMarket, n)
+	for i := range out {
+		m, err := auction.NewMarket(auction.Config{
+			HostID:      fmt.Sprintf("h%03d", i),
+			CapacityMHz: 1000,
+			Start:       sim.Epoch,
+			Tracer:      quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestPlaneCanonicalOrder(t *testing.T) {
+	markets := testMarkets(t, 20)
+	p, err := New(Config{Shards: 3, Markets: markets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardCount() != 3 || p.Hosts() != 20 {
+		t.Fatalf("shards=%d hosts=%d", p.ShardCount(), p.Hosts())
+	}
+	results := p.TickAll(sim.Epoch.Add(auction.DefaultInterval), nil)
+	if len(results) != 20 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if want := fmt.Sprintf("h%03d", i); r.Host != want {
+			t.Fatalf("result %d is %q, want %q — canonical order broken", i, r.Host, want)
+		}
+		if got, ok := p.CachedPrice(r.Host); !ok || got != markets[i].SpotPrice() {
+			t.Fatalf("cached price for %s = %v, want %v", r.Host, got, markets[i].SpotPrice())
+		}
+	}
+	if _, ok := p.HostIndex("h007"); !ok {
+		t.Fatal("HostIndex lost a host")
+	}
+	if _, ok := p.CachedPrice("nope"); ok {
+		t.Fatal("CachedPrice invented a host")
+	}
+	if err := p.EnqueueBid("nope", "b", bank.Credit, sim.Epoch.Add(time.Hour)); err == nil {
+		t.Fatal("EnqueueBid accepted an unknown host")
+	}
+}
+
+func TestPlaneSkipPredicate(t *testing.T) {
+	markets := testMarkets(t, 6)
+	p, err := New(Config{Shards: 2, Markets: markets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := p.TickAll(sim.Epoch.Add(auction.DefaultInterval), func(h string) bool { return h == "h002" })
+	for i, r := range results {
+		if r.Host == "" {
+			t.Fatalf("result %d has no host", i)
+		}
+	}
+}
+
+// The determinism contract: the same bid stream driven through planes at
+// different shard counts over identical market sets yields identical charges,
+// refunds and spot prices, tick for tick and host for host. Sharding changes
+// who clears a host, never what the clear computes.
+func TestShardCountInvariance(t *testing.T) {
+	const hosts = 16
+	run := func(shards int) ([][]TickResult, []float64) {
+		markets := testMarkets(t, hosts)
+		p, err := New(Config{Shards: shards, Markets: markets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ticks [][]TickResult
+		for tk := 0; tk < 8; tk++ {
+			// Deterministic bid pattern: several bidders per tick, spread
+			// across hosts, short deadlines so refunds fire mid-run.
+			for j := 0; j < 12; j++ {
+				host := (tk*5 + j*3) % hosts
+				bidder := auction.BidderID(fmt.Sprintf("b-%02d-%02d", tk, j))
+				deadline := sim.Epoch.Add(time.Duration(tk+2) * auction.DefaultInterval)
+				p.EnqueueBidAt(host, bidder, 3*bank.Credit, deadline)
+			}
+			now := sim.Epoch.Add(time.Duration(tk+1) * auction.DefaultInterval)
+			ticks = append(ticks, p.TickAll(now, nil))
+		}
+		prices := make([]float64, hosts)
+		for i := range prices {
+			prices[i] = p.PriceAt(i)
+		}
+		return ticks, prices
+	}
+
+	baseTicks, basePrices := run(1)
+	for _, shards := range []int{2, 4, 7} {
+		gotTicks, gotPrices := run(shards)
+		for tk := range baseTicks {
+			for h := range baseTicks[tk] {
+				a, b := baseTicks[tk][h], gotTicks[tk][h]
+				if a.Host != b.Host {
+					t.Fatalf("shards=%d tick %d host %d: %q vs %q", shards, tk, h, a.Host, b.Host)
+				}
+				if len(a.Charges) != len(b.Charges) || len(a.Refunds) != len(b.Refunds) {
+					t.Fatalf("shards=%d tick %d %s: %d/%d charges, %d/%d refunds",
+						shards, tk, a.Host, len(a.Charges), len(b.Charges), len(a.Refunds), len(b.Refunds))
+				}
+				for i := range a.Charges {
+					if a.Charges[i] != b.Charges[i] {
+						t.Fatalf("shards=%d tick %d %s charge %d: %+v vs %+v",
+							shards, tk, a.Host, i, a.Charges[i], b.Charges[i])
+					}
+				}
+				for i := range a.Refunds {
+					if a.Refunds[i] != b.Refunds[i] {
+						t.Fatalf("shards=%d tick %d %s refund %d: %+v vs %+v",
+							shards, tk, a.Host, i, a.Refunds[i], b.Refunds[i])
+					}
+				}
+			}
+		}
+		for i := range basePrices {
+			if basePrices[i] != gotPrices[i] {
+				t.Fatalf("shards=%d host %d price %v vs %v", shards, i, basePrices[i], gotPrices[i])
+			}
+		}
+	}
+}
+
+func TestScaleBenchSmoke(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		res, err := RunScaleBench(BenchConfig{
+			Hosts: 50, Jobs: 400, Shards: shards,
+			Users: 20, ArrivalTicks: 5, Candidates: 8, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !res.MoneyConserved || !res.EscrowDrained || !res.NoOrphanedHolds {
+			t.Fatalf("shards=%d invariants: %+v", shards, res)
+		}
+		if res.Clears == 0 || res.JobsPerSec <= 0 {
+			t.Fatalf("shards=%d produced no work: %+v", shards, res)
+		}
+		if shards > 1 && res.CrossShardTransfers == 0 {
+			t.Fatalf("shards=%d: no cross-shard transfers exercised", shards)
+		}
+	}
+}

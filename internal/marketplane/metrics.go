@@ -1,0 +1,59 @@
+package marketplane
+
+import (
+	"strconv"
+
+	"tycoongrid/internal/metrics"
+)
+
+// Plane and bank instrumentation. Families are registered once at package
+// init and per-shard children are resolved at construction time: CounterVec
+// .With() takes the family's read lock and a map lookup, which profiles as
+// real contention when ten thousand hosts bid through a handful of shards,
+// so no hot path here ever performs a name or label lookup — each shard
+// holds its resolved children and pays one atomic add per event.
+var (
+	mPlaneTicks = metrics.Default().Counter("marketplane_ticks_total",
+		"Whole-plane tick sweeps executed (all shards, one batch clear each).")
+	mBidsEnqueued = metrics.Default().CounterVec("marketplane_bids_enqueued_total",
+		"Bids queued for the next batch clear.", "shard")
+	mBidsApplied = metrics.Default().CounterVec("marketplane_bids_applied_total",
+		"Queued bids entered into host markets at a batch clear.", "shard")
+	mBidsDropped = metrics.Default().CounterVec("marketplane_bids_dropped_total",
+		"Queued bids discarded (host down or rejected by its market).", "shard")
+	mShardClears = metrics.Default().CounterVec("marketplane_shard_clears_total",
+		"Host-market clears executed, by shard.", "shard")
+
+	m2pcPrepares = metrics.Default().Counter("marketplane_2pc_prepares_total",
+		"Cross-shard transfers prepared (debit held at source shard).")
+	m2pcCommits = metrics.Default().Counter("marketplane_2pc_commits_total",
+		"Cross-shard transfers whose commit decision was recorded.")
+	m2pcAborts = metrics.Default().Counter("marketplane_2pc_aborts_total",
+		"Cross-shard transfers aborted (hold returned to source).")
+	m2pcResolved = metrics.Default().Counter("marketplane_2pc_resolved_total",
+		"In-doubt transfers completed by crash recovery.")
+	mXferLocal = metrics.Default().Counter("marketplane_transfers_local_total",
+		"Transfers settled entirely within one bank shard (single-lock fast path).")
+	mXferCross = metrics.Default().Counter("marketplane_transfers_cross_shard_total",
+		"Transfers settled with the two-phase cross-shard protocol.")
+	mBankShardDown = metrics.Default().GaugeVec("marketplane_bank_shard_down",
+		"1 while the bank shard is crashed, else 0.", "shard")
+)
+
+// shardCounters are the per-shard children a shard resolves once and holds.
+type shardCounters struct {
+	enqueued *metrics.Counter
+	applied  *metrics.Counter
+	dropped  *metrics.Counter
+	clears   *metrics.Counter
+}
+
+func countersFor(shard int) shardCounters {
+	label := strconv.Itoa(shard)
+	return shardCounters{
+		enqueued: mBidsEnqueued.With(label),
+		applied:  mBidsApplied.With(label),
+		dropped:  mBidsDropped.With(label),
+		clears:   mShardClears.With(label),
+	}
+}

@@ -1,0 +1,262 @@
+package marketplane
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tycoongrid/internal/auction"
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/sim"
+)
+
+// HostMarket is the slice of auction.Market the plane drives. *auction.Market
+// satisfies it; the indirection keeps the plane testable with stub markets.
+type HostMarket interface {
+	HostID() string
+	Tick(now time.Time) (charges, refunds []auction.Charge)
+	PlaceBid(bidder auction.BidderID, budget bank.Amount, deadline time.Time) (refund bank.Amount, err error)
+	SpotPrice() float64
+}
+
+// Config configures a Plane.
+type Config struct {
+	// Shards is the number of auctioneer partitions; minimum 1. One shard is
+	// the exact sequential legacy path (see the package determinism contract).
+	Shards int
+	// Markets are the host markets, in the caller's canonical host order;
+	// TickAll returns results in this order regardless of sharding.
+	Markets []HostMarket
+}
+
+// TickResult is one host's outcome of a plane tick, in canonical host order.
+// Hosts skipped by the tick predicate have nil Charges and Refunds.
+type TickResult struct {
+	Host    string
+	Charges []auction.Charge
+	Refunds []auction.Charge
+}
+
+// queuedBid is a bid awaiting the shard's next batch clear.
+type queuedBid struct {
+	local    int // market index within the shard
+	bidder   auction.BidderID
+	budget   bank.Amount
+	deadline time.Time
+}
+
+// shard is one auctioneer partition: a subset of host markets, a bid queue
+// under the shard's own lock, and pre-resolved metric children.
+type shard struct {
+	index   int
+	markets []HostMarket
+	globals []int // canonical index of each local market
+
+	mu    sync.Mutex
+	queue []queuedBid
+
+	ctr shardCounters
+}
+
+// Plane is the sharded market: hosts hash-partitioned across auctioneer
+// shards, each clearing its hosts once per tick in a batch, plus a lock-free
+// spot-price cache refreshed at every clear. Safe for concurrent use.
+type Plane struct {
+	shards []*shard
+	byHost map[string]int  // host id -> canonical index
+	slot   []slotRef       // canonical index -> shard/local
+	prices []atomic.Uint64 // Float64bits of each host's cached spot price
+}
+
+type slotRef struct {
+	shard *shard
+	local int
+}
+
+// Errors returned by the plane.
+var (
+	ErrUnknownPlaneHost = errors.New("marketplane: unknown host")
+	ErrBadPlaneConfig   = errors.New("marketplane: invalid config")
+)
+
+// New partitions the given markets across cfg.Shards auctioneer shards.
+func New(cfg Config) (*Plane, error) {
+	if len(cfg.Markets) == 0 {
+		return nil, fmt.Errorf("%w: no markets", ErrBadPlaneConfig)
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > len(cfg.Markets) {
+		n = len(cfg.Markets)
+	}
+	p := &Plane{
+		shards: make([]*shard, n),
+		byHost: make(map[string]int, len(cfg.Markets)),
+		slot:   make([]slotRef, len(cfg.Markets)),
+		prices: make([]atomic.Uint64, len(cfg.Markets)),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{index: i, ctr: countersFor(i)}
+	}
+	for g, m := range cfg.Markets {
+		if m == nil {
+			return nil, fmt.Errorf("%w: nil market at %d", ErrBadPlaneConfig, g)
+		}
+		id := m.HostID()
+		if _, dup := p.byHost[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate host %q", ErrBadPlaneConfig, id)
+		}
+		s := p.shards[ShardOf(id, n)]
+		s.markets = append(s.markets, m)
+		s.globals = append(s.globals, g)
+		p.byHost[id] = g
+		p.slot[g] = slotRef{shard: s, local: len(s.markets) - 1}
+		p.prices[g].Store(math.Float64bits(m.SpotPrice()))
+	}
+	return p, nil
+}
+
+// ShardCount returns the number of auctioneer shards.
+func (p *Plane) ShardCount() int { return len(p.shards) }
+
+// Hosts returns the number of host markets.
+func (p *Plane) Hosts() int { return len(p.slot) }
+
+// HostIndex returns the canonical index of a host, for the index-addressed
+// fast paths (PriceAt, EnqueueBidAt).
+func (p *Plane) HostIndex(host string) (int, bool) {
+	g, ok := p.byHost[host]
+	return g, ok
+}
+
+// ShardIndexOf returns which shard owns a host.
+func (p *Plane) ShardIndexOf(host string) (int, bool) {
+	g, ok := p.byHost[host]
+	if !ok {
+		return 0, false
+	}
+	return p.slot[g].shard.index, true
+}
+
+// PriceAt returns the cached spot price of the host at canonical index i —
+// one atomic load, no auctioneer lock. The cache is refreshed at each batch
+// clear, so between clears the value is up to one tick stale; that staleness
+// is the price of taking bid placement off the auctioneer's lock.
+func (p *Plane) PriceAt(i int) float64 {
+	return math.Float64frombits(p.prices[i].Load())
+}
+
+// CachedPrice returns the cached spot price for a host by id.
+func (p *Plane) CachedPrice(host string) (float64, bool) {
+	g, ok := p.byHost[host]
+	if !ok {
+		return 0, false
+	}
+	return p.PriceAt(g), true
+}
+
+// EnqueueBidAt queues a bid for the host at canonical index i; it is entered
+// into the host's market at the owning shard's next batch clear. The call
+// takes only the shard's queue lock, never the auctioneer's.
+func (p *Plane) EnqueueBidAt(i int, bidder auction.BidderID, budget bank.Amount, deadline time.Time) {
+	ref := p.slot[i]
+	ref.shard.mu.Lock()
+	ref.shard.queue = append(ref.shard.queue, queuedBid{
+		local: ref.local, bidder: bidder, budget: budget, deadline: deadline,
+	})
+	ref.shard.mu.Unlock()
+	ref.shard.ctr.enqueued.Inc()
+}
+
+// EnqueueBid queues a bid for a host by id.
+func (p *Plane) EnqueueBid(host string, bidder auction.BidderID, budget bank.Amount, deadline time.Time) error {
+	g, ok := p.byHost[host]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlaneHost, host)
+	}
+	p.EnqueueBidAt(g, bidder, budget, deadline)
+	return nil
+}
+
+// TickAll advances every shard to now — applying queued bids, batch-clearing
+// each host market, refreshing the price cache — and returns per-host
+// results in canonical host order. skip (optional) excludes hosts (e.g.
+// crashed ones) from the sweep. Shards run concurrently when the plane has
+// more than one; with one shard the sweep is inline and sequential, matching
+// the legacy single-auctioneer execution exactly.
+func (p *Plane) TickAll(now time.Time, skip func(host string) bool) []TickResult {
+	results := make([]TickResult, len(p.slot))
+	sim.FanOut(len(p.shards), func(i int) {
+		p.shards[i].tick(p, now, skip, results)
+	})
+	mPlaneTicks.Inc()
+	return results
+}
+
+// TickShard advances one shard to now and returns results for that shard's
+// hosts only, in canonical host order. Callers that already run one worker
+// per shard (the scale benchmark) use this instead of TickAll so the
+// goroutine structure stays theirs.
+func (p *Plane) TickShard(i int, now time.Time, skip func(host string) bool) []TickResult {
+	s := p.shards[i]
+	results := make([]TickResult, len(s.markets))
+	s.tickInto(p, now, skip, func(local int) *TickResult { return &results[local] })
+	return results
+}
+
+// tick clears the shard, writing each host's result at its canonical index.
+func (s *shard) tick(p *Plane, now time.Time, skip func(string) bool, results []TickResult) {
+	s.tickInto(p, now, skip, func(local int) *TickResult { return &results[s.globals[local]] })
+}
+
+func (s *shard) tickInto(p *Plane, now time.Time, skip func(string) bool, out func(local int) *TickResult) {
+	// Drain the queue under the shard lock, then apply in deterministic
+	// (bidder, arrival) order: concurrent enqueuers from different goroutines
+	// may interleave arbitrarily, and the sort erases that nondeterminism.
+	s.mu.Lock()
+	q := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	sort.SliceStable(q, func(i, j int) bool { return q[i].bidder < q[j].bidder })
+
+	applied, dropped := uint64(0), uint64(0)
+	for _, b := range q {
+		m := s.markets[b.local]
+		if skip != nil && skip(m.HostID()) {
+			dropped++
+			continue
+		}
+		if _, err := m.PlaceBid(b.bidder, b.budget, b.deadline); err != nil {
+			dropped++
+			continue
+		}
+		applied++
+	}
+	if applied > 0 {
+		s.ctr.applied.Add(applied)
+	}
+	if dropped > 0 {
+		s.ctr.dropped.Add(dropped)
+	}
+
+	clears := uint64(0)
+	for local, m := range s.markets {
+		r := out(local)
+		r.Host = m.HostID()
+		if skip != nil && skip(m.HostID()) {
+			continue
+		}
+		r.Charges, r.Refunds = m.Tick(now)
+		p.prices[s.globals[local]].Store(math.Float64bits(m.SpotPrice()))
+		clears++
+	}
+	if clears > 0 {
+		s.ctr.clears.Add(clears)
+	}
+}

@@ -1,0 +1,28 @@
+package mathx
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedSum folds value(k) over keys in ascending key order and returns the
+// plain (uncompensated) float64 sum of every contribution whose ok result is
+// true. It is the one shared definition of the repository's deterministic
+// float fold: map-order summation perturbs totals in the last bit, and the
+// market amplifies that into visibly different traces run over run, so every
+// price-like sum — the auction's spot price, a shard's batched clear — must
+// fold in the same fixed order. Plain += is deliberate: switching to
+// compensated summation would change results in the last ulp and break
+// bit-for-bit compatibility with recorded baselines.
+//
+// keys is sorted in place; callers pass a scratch slice they own.
+func SortedSum[K cmp.Ordered](keys []K, value func(K) (float64, bool)) float64 {
+	slices.Sort(keys)
+	var sum float64
+	for _, k := range keys {
+		if v, ok := value(k); ok {
+			sum += v
+		}
+	}
+	return sum
+}

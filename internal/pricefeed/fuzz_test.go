@@ -16,10 +16,10 @@ func FuzzRing(f *testing.F) {
 	// Seeds mirror the attack surface spelled out in the satellite task:
 	// in-order ticks, out-of-order timestamps, duplicate ticks, NaN/Inf and
 	// negative prices, and enough volume to wrap the ring.
-	f.Add([]byte{1, 10, 1, 20, 1, 30})                    // monotone feed
-	f.Add([]byte{5, 10, 0x80, 20})                        // out-of-order (negative delta)
-	f.Add([]byte{3, 10, 0, 20})                           // duplicate timestamp
-	f.Add([]byte{1, 250, 1, 251, 1, 252, 1, 253})         // NaN/Inf/negative sentinels
+	f.Add([]byte{1, 10, 1, 20, 1, 30})                                         // monotone feed
+	f.Add([]byte{5, 10, 0x80, 20})                                             // out-of-order (negative delta)
+	f.Add([]byte{3, 10, 0, 20})                                                // duplicate timestamp
+	f.Add([]byte{1, 250, 1, 251, 1, 252, 1, 253})                              // NaN/Inf/negative sentinels
 	f.Add([]byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7, 1, 8, 1, 9, 1, 10}) // wrap
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const capacity = 4
