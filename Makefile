@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke chaos trace-demo lint check
+.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke bench-http recovery-smoke chaos trace-demo lint check
 
 all: build test
 
@@ -34,6 +34,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/xrsl
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTraceparent$$' -fuzztime $(FUZZTIME) ./internal/tracing
 	$(GO) test -run '^$$' -fuzz '^FuzzRing$$' -fuzztime $(FUZZTIME) ./internal/pricefeed
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecover$$' -fuzztime $(FUZZTIME) ./internal/durable
 
 # Static analysis beyond go vet. Pinned so results are reproducible; the
 # binary is not vendored and this environment cannot fetch it, so the target
@@ -65,6 +66,21 @@ bench-scale:
 scale-smoke:
 	$(GO) run ./cmd/marketbench -hosts 200 -jobs 2000 -shards 4 -bench-out ""
 
+# Million-request HTTP load harness: signed transfers through the real bankd
+# serving stack per durability mode (in-memory, fsync=interval, fsync=always),
+# recording latency percentiles and allocs/op into BENCH_http.json (the
+# committed trajectory artifact).
+bench-http:
+	$(GO) run ./cmd/loadgen -requests 1000000 -clients 8 -out BENCH_http.json
+
+# Fast crash-recovery health check: the crash-storm test SIGKILLs a real
+# bankd mid-traffic (external kills plus failpoints inside the WAL append,
+# fsync and snapshot paths) and asserts exact money conservation, no orphaned
+# escrow holds and no duplicate receipt application. Wired into `check`; the
+# full 20-cycle storm runs in `go test ./cmd/bankd`.
+recovery-smoke:
+	$(GO) test -run '^TestCrashStorm$$' -count=1 ./cmd/bankd -args -storm.cycles=6
+
 # Observability smoke: run the quickstart under tracing and assert the job's
 # lifecycle timeline came back non-empty — the "completed" event proves the
 # whole funded -> bid -> placed -> completed chain recorded.
@@ -80,4 +96,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet lint race-check fuzz-short chaos trace-demo scale-smoke
+check: vet lint race-check fuzz-short chaos trace-demo scale-smoke recovery-smoke

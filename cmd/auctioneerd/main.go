@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tycoongrid/internal/auction"
+	"tycoongrid/internal/durable"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sls"
 	"tycoongrid/internal/tracing"
@@ -34,6 +35,12 @@ func main() {
 	endpoint := flag.String("endpoint", "", "advertised endpoint (default http://<addr>)")
 	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data-dir", "",
+		"directory for the durable price log (WAL + snapshots); empty = in-memory")
+	fsyncMode := flag.String("fsync", "interval",
+		"WAL fsync policy with -data-dir: always|interval|none")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"price records between snapshots with -data-dir (0 = one week of ticks)")
 	flag.Parse()
 	tracing.InitSlog("auctioneerd", os.Stderr, slog.LevelInfo)
 	tracing.Default().SetSampleRatio(*traceRatio)
@@ -56,6 +63,27 @@ func main() {
 	if err != nil {
 		slog.Error("auctioneerd: service construction failed", "err", err)
 		os.Exit(1)
+	}
+
+	// Durable price history: recover the logged samples into the prediction
+	// windows, then journal every subsequent tick's spot price.
+	var prices *priceLog
+	if *dataDir != "" {
+		policy, err := durable.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			slog.Error("auctioneerd: bad -fsync", "err", err)
+			os.Exit(1)
+		}
+		prices, err = openPriceLog(*dataDir, durable.Options{Sync: policy}, *snapshotEvery)
+		if err != nil {
+			slog.Error("auctioneerd: open price log", "err", err)
+			os.Exit(1)
+		}
+		recovered := prices.recovered()
+		svc.ReplayPrices(recovered)
+		slog.Info("auctioneerd: price history recovered",
+			"samples", len(recovered), "dir", *dataDir)
+		market.Observe(prices.record)
 	}
 
 	// Readiness: with an SLS configured, not ready until the directory has
@@ -113,7 +141,15 @@ func main() {
 		opts = append(opts, httpapi.WithPprof())
 	}
 	slog.Info("auctioneerd: listening", "host", *host, "capacity_mhz", *capacity, "addr", *addr)
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc, opts...), health.StartDrain); err != nil {
+	drain := func() {
+		health.StartDrain()
+		if prices != nil {
+			if err := prices.close(); err != nil {
+				slog.Error("auctioneerd: price log close failed", "err", err)
+			}
+		}
+	}
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc, opts...), drain); err != nil {
 		slog.Error("auctioneerd: serve failed", "err", err)
 		os.Exit(1)
 	}

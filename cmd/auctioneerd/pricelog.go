@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/durable"
+)
+
+// maxPriceSamples bounds the retained price history at one week of
+// 10-second reallocation ticks — enough to rebuild the widest ("week")
+// prediction window after a restart.
+const maxPriceSamples = 7 * 24 * 360
+
+// priceLog makes the auctioneer's price history durable: one 16-byte record
+// (price float bits, unixnano) per reallocation tick, snapshotted as the
+// bounded sample tail so the WAL never grows past roughly one week.
+type priceLog struct {
+	mu      sync.Mutex
+	store   *durable.Store
+	samples []float64
+	every   int
+	since   int
+}
+
+// openPriceLog recovers the retained samples from dir and returns the log
+// ready for recording. snapshotEvery <= 0 snapshots once per maxPriceSamples
+// records.
+func openPriceLog(dir string, opts durable.Options, snapshotEvery int) (*priceLog, error) {
+	st, err := durable.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if snapshotEvery <= 0 {
+		snapshotEvery = maxPriceSamples
+	}
+	l := &priceLog{store: st, every: snapshotEvery}
+	_, err = st.Recover(
+		func(snap []byte) error {
+			for len(snap) >= 8 {
+				l.push(math.Float64frombits(binary.LittleEndian.Uint64(snap)))
+				snap = snap[8:]
+			}
+			return nil
+		},
+		func(rec []byte) error {
+			if len(rec) >= 8 {
+				l.push(math.Float64frombits(binary.LittleEndian.Uint64(rec)))
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *priceLog) push(p float64) {
+	l.samples = append(l.samples, p)
+	if len(l.samples) > 2*maxPriceSamples {
+		drop := len(l.samples) - maxPriceSamples
+		l.samples = append(l.samples[:0], l.samples[drop:]...)
+	}
+}
+
+// recovered returns the replayed sample history, oldest first.
+func (l *priceLog) recovered() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) > maxPriceSamples {
+		return l.samples[len(l.samples)-maxPriceSamples:]
+	}
+	return l.samples
+}
+
+// record journals one tick's spot price. Price history is telemetry, not
+// money: the append is asynchronous and errors surface on close.
+func (l *priceLog) record(price float64, at time.Time) {
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(price))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(at.UnixNano()))
+
+	// l.mu also serializes Append with Snapshot, which the durable.Store
+	// contract requires of its caller.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.push(price)
+	l.store.AppendAsync(rec[:])
+	l.since++
+	if l.since >= l.every {
+		l.since = 0
+		tail := l.samples
+		if len(tail) > maxPriceSamples {
+			tail = tail[len(tail)-maxPriceSamples:]
+		}
+		state := make([]byte, 0, 8*len(tail))
+		for _, p := range tail {
+			state = binary.LittleEndian.AppendUint64(state, math.Float64bits(p))
+		}
+		l.store.Snapshot(state)
+	}
+}
+
+func (l *priceLog) close() error { return l.store.Close() }

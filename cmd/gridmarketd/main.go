@@ -35,7 +35,9 @@ import (
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/box"
+	"tycoongrid/internal/durable"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/token"
 	"tycoongrid/internal/tracing"
 )
 
@@ -53,6 +55,8 @@ func main() {
 	strategyName := flag.String("strategy", "",
 		"meta-scheduler matchmaking strategy: current-price|predicted-mean|predicted-quantile|portfolio")
 	horizon := flag.Duration("horizon", 30*time.Minute, "forecast horizon for prediction strategies")
+	dataDir := flag.String("data-dir", "",
+		"directory for the broker's durable spent-token log; empty = in-memory (spent ids lost on restart)")
 	flag.Parse()
 	tracing.InitSlog("gridmarketd", os.Stderr, slog.LevelInfo)
 	if *speedup <= 0 {
@@ -70,6 +74,21 @@ func main() {
 	cfg.Partitions = *partitions
 	cfg.Strategy = *strategyName
 	cfg.Horizon = *horizon
+	if *dataDir != "" {
+		st, err := durable.Open(*dataDir, durable.Options{Sync: durable.SyncInterval})
+		if err != nil {
+			slog.Error("gridmarketd: open data dir", "err", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		spent, err := token.NewDurableSpentStore(st, 0)
+		if err != nil {
+			slog.Error("gridmarketd: recover spent-token log", "err", err)
+			os.Exit(1)
+		}
+		cfg.SpentStore = spent
+		slog.Info("gridmarketd: durable spent-token log", "dir", *dataDir)
+	}
 	b, err := box.New(cfg)
 	if err != nil {
 		slog.Error("gridmarketd: box construction failed", "err", err)

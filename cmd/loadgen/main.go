@@ -1,0 +1,292 @@
+// Command loadgen is the million-request HTTP load harness for the durable
+// bank: it stands up the exact bankd serving stack in-process (real TCP
+// listener, real signed-transfer JSON API), drives it with concurrent
+// signing clients, and records latency percentiles and allocation counts
+// per durability mode into a JSON artifact.
+//
+// Usage:
+//
+//	loadgen -requests 1000000 -clients 32 -durability memory,interval,always \
+//	    -out BENCH_http.json
+//
+// Each mode gets a fresh bank (and for the durable modes a fresh WAL
+// directory under the system temp dir). Reported allocs/op cover client and
+// server together, since both run in this process.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/durable"
+	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
+)
+
+type runResult struct {
+	Mode          string  `json:"mode"` // memory | interval | always
+	Requests      int     `json:"requests"`
+	Clients       int     `json:"clients"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	RequestsPerS  float64 `json:"requests_per_sec"`
+	P50Us         float64 `json:"p50_latency_us"`
+	P99Us         float64 `json:"p99_latency_us"`
+	P999Us        float64 `json:"p999_latency_us"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	WALBytes      int64   `json:"wal_bytes"`
+	MoneyConserve bool    `json:"money_conserved"`
+	SlowdownVsMem float64 `json:"slowdown_vs_memory"`
+}
+
+type artifact struct {
+	Requests  int         `json:"requests"`
+	Clients   int         `json:"clients"`
+	Accounts  int         `json:"accounts"`
+	Seed      int64       `json:"seed"`
+	GoVersion string      `json:"go_version"`
+	Runs      []runResult `json:"runs"`
+}
+
+func main() {
+	requests := flag.Int("requests", 1_000_000, "signed transfer requests per mode")
+	clients := flag.Int("clients", 32, "concurrent client goroutines")
+	accounts := flag.Int("accounts", 64, "bank accounts transfers rotate through")
+	modes := flag.String("durability", "memory,interval,always",
+		"comma-separated durability modes to benchmark")
+	out := flag.String("out", "BENCH_http.json", "JSON artifact path (empty = stdout table only)")
+	seed := flag.Int64("seed", 1, "deterministic key seed")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"records between snapshots in durable modes (0 = none during the run)")
+	flag.Parse()
+	tracing.Default().SetSampleRatio(0) // measure the serving path, not the tracer
+
+	art := artifact{
+		Requests: *requests, Clients: *clients, Accounts: *accounts,
+		Seed: *seed, GoVersion: runtime.Version(),
+	}
+	var memRate float64
+	for _, mode := range strings.Split(*modes, ",") {
+		mode = strings.TrimSpace(mode)
+		if mode == "" {
+			continue
+		}
+		res, err := runMode(mode, *requests, *clients, *accounts, *seed, *snapshotEvery)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", mode, err)
+			os.Exit(1)
+		}
+		if mode == "memory" {
+			memRate = res.RequestsPerS
+		}
+		if memRate > 0 {
+			res.SlowdownVsMem = memRate / res.RequestsPerS
+		}
+		art.Runs = append(art.Runs, res)
+	}
+
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s %10s %8s\n",
+		"mode", "req/s", "elapsed", "p50", "p99", "p999", "allocs/op", "vs-mem")
+	for _, r := range art.Runs {
+		fmt.Printf("%-10s %12.0f %11.1fs %9.0fµs %9.0fµs %9.0fµs %10.1f %7.2fx\n",
+			r.Mode, r.RequestsPerS, r.ElapsedMs/1000,
+			r.P50Us, r.P99Us, r.P999Us, r.AllocsPerOp, r.SlowdownVsMem)
+		if !r.MoneyConserve {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: MONEY NOT CONSERVED\n", r.Mode)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+// runMode benchmarks one durability configuration end to end.
+func runMode(mode string, requests, clients, accounts int, seed int64, snapshotEvery int) (runResult, error) {
+	res := runResult{Mode: mode, Requests: requests, Clients: clients}
+
+	caSeed := [32]byte{byte(seed), 1}
+	ca, err := pki.NewDeterministicCA("/CN=LoadCA", caSeed)
+	if err != nil {
+		return res, err
+	}
+	bankID, err := ca.IssueDeterministic("/CN=Bank", [32]byte{byte(seed), 2})
+	if err != nil {
+		return res, err
+	}
+	owner, err := ca.IssueDeterministic("/CN=Owner", [32]byte{byte(seed), 3})
+	if err != nil {
+		return res, err
+	}
+
+	b := bank.New(bankID, sim.WallClock{})
+	var store *durable.Store
+	var dataDir string
+	if mode != "memory" {
+		policy, err := durable.ParseSyncPolicy(mode)
+		if err != nil {
+			return res, fmt.Errorf("unknown durability mode %q", mode)
+		}
+		dataDir, err = os.MkdirTemp("", "loadgen-"+mode+"-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dataDir)
+		store, err = durable.Open(dataDir, durable.Options{Sync: policy})
+		if err != nil {
+			return res, err
+		}
+		if snapshotEvery <= 0 {
+			snapshotEvery = requests + 1 // measure the WAL path, not snapshot pauses
+		}
+		if _, err := b.AttachDurability(store, snapshotEvery); err != nil {
+			return res, err
+		}
+	}
+
+	// Fund the rotation: client c sends acct[c%accounts] -> acct[(c+1)%accounts].
+	perClient := requests / clients
+	for i := 0; i < accounts; i++ {
+		id := bank.AccountID(fmt.Sprintf("a%03d", i))
+		if _, err := b.CreateAccount(id, owner.Public()); err != nil {
+			return res, err
+		}
+		if err := b.Deposit(id, bank.Amount(requests)*bank.Credit, "seed"); err != nil {
+			return res, err
+		}
+	}
+
+	// The same serving stack bankd uses: observed mux over the bank service
+	// on a real TCP listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	srv := &http.Server{Handler: httpapi.ObservedMux("loadgen", httpapi.NewBankService(b))}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String() + "/transfers"
+
+	transport := &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}
+	httpClient := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	latencies := make([][]int64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]int64, 0, perClient)
+			from := bank.AccountID(fmt.Sprintf("a%03d", c%accounts))
+			to := bank.AccountID(fmt.Sprintf("a%03d", (c+1)%accounts))
+			for i := 0; i < perClient; i++ {
+				req := bank.TransferRequest{
+					From: from, To: to, Amount: bank.Credit,
+					Nonce: fmt.Sprintf("c%d-%d", c, i),
+				}
+				req.Sig = owner.Sign(req.SigningBytes())
+				body, _ := json.Marshal(httpapi.TransferWire{
+					From: string(req.From), To: string(req.To),
+					Amount: req.Amount.String(), Nonce: req.Nonce,
+					Sig: base64.RawURLEncoding.EncodeToString(req.Sig),
+				})
+				t0 := time.Now()
+				resp, err := httpClient.Post(base, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lats = append(lats, time.Since(t0).Nanoseconds())
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("transfer %s: HTTP %d", req.Nonce, resp.StatusCode)
+					return
+				}
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	srv.Close()
+	if store != nil {
+		if err := store.Close(); err != nil {
+			return res, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	total, held, landed := b.Totals()
+	want := bank.Amount(accounts) * bank.Amount(requests) * bank.Credit
+	res.MoneyConserve = total+held-landed == want
+
+	var all []int64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / 1e3
+	}
+	res.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
+	res.RequestsPerS = float64(len(all)) / elapsed.Seconds()
+	res.P50Us, res.P99Us, res.P999Us = pct(0.50), pct(0.99), pct(0.999)
+	res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(len(all))
+	if dataDir != "" {
+		filepath.WalkDir(dataDir, func(_ string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() {
+				if info, ierr := d.Info(); ierr == nil {
+					res.WALBytes += info.Size()
+				}
+			}
+			return nil
+		})
+	}
+	return res, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"tycoongrid/internal/durable"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/tracing"
@@ -121,19 +122,26 @@ func amountBytes(a Amount) []byte {
 	return p[:]
 }
 
-// Bank is a thread-safe in-memory ledger with signed receipts.
+// Bank is a thread-safe ledger with signed receipts. By default it is purely
+// in-memory; AttachDurability (wal.go) journals every mutation to a
+// write-ahead log so the bank survives crashes.
 type Bank struct {
 	mu        sync.Mutex
 	id        *pki.Identity
 	clock     sim.Clock
 	accounts  map[AccountID]*Account
 	nonces    map[string]bool
-	holds     map[string]*Hold // prepared two-phase debits by tx (twophase.go)
-	credited  map[string]bool  // applied two-phase credits by tx (idempotence)
+	receipts  map[string]Receipt // issued receipts by nonce (idempotent replay)
+	holds     map[string]*Hold   // prepared two-phase debits by tx (twophase.go)
+	credited  map[string]bool    // applied two-phase credits by tx (idempotence)
 	ledger    []Entry
 	seq       uint64
 	ledgerCap int // 0 = unbounded
 	tracer    *tracing.Tracer
+
+	journal       *durable.Store // nil = in-memory only
+	snapshotEvery int
+	recSinceSnap  int
 }
 
 // Option customizes a Bank.
@@ -168,6 +176,7 @@ func New(id *pki.Identity, clock sim.Clock, opts ...Option) *Bank {
 		clock:    clock,
 		accounts: make(map[AccountID]*Account),
 		nonces:   make(map[string]bool),
+		receipts: make(map[string]Receipt),
 		holds:    make(map[string]*Hold),
 		credited: make(map[string]bool),
 		tracer:   tracing.Default(),
@@ -207,16 +216,26 @@ func (b *Bank) createAccount(id AccountID, owner ed25519.PublicKey, parent Accou
 		return nil, fmt.Errorf("bank: account %q: owner key has %d bytes, want %d",
 			id, len(owner), ed25519.PublicKeySize)
 	}
+	cp, wait, err := b.createAccountLocked(id, owner, parent)
+	if err != nil {
+		return nil, err
+	}
+	if err := commitWait(wait); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+func (b *Bank) createAccountLocked(id AccountID, owner ed25519.PublicKey, parent AccountID) (Account, func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.accounts[id]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateAccount, id)
+		return Account{}, nil, fmt.Errorf("%w: %q", ErrDuplicateAccount, id)
 	}
 	a := &Account{ID: id, Owner: owner, Parent: parent, Created: b.clock.Now()}
 	b.accounts[id] = a
 	mAccounts.Inc()
-	cp := *a
-	return &cp, nil
+	return *a, b.stage(encCreateAccount(a)), nil
 }
 
 // Lookup returns a copy of the account record.
@@ -245,25 +264,37 @@ func (b *Bank) Deposit(id AccountID, amount Amount, memo string) error {
 	if amount <= 0 {
 		return ErrNonPositive
 	}
+	wait, err := b.depositLocked(id, amount, memo)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) depositLocked(id AccountID, amount Amount, memo string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	a, ok := b.accounts[id]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, id)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, id)
 	}
 	nb, err := addChecked(a.Balance, amount)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a.Balance = nb
-	b.appendEntry(EntryDeposit, "", id, amount, memo)
+	at := b.clock.Now()
+	b.appendEntryAt(EntryDeposit, "", id, amount, memo, at)
 	mDeposits.Inc()
-	return nil
+	return b.stage(encDeposit(id, amount, memo, at)), nil
 }
 
 // Transfer executes an owner-signed transfer request and returns a
-// bank-signed receipt. The request nonce is consumed; replays fail with
-// ErrNonceReused.
+// bank-signed receipt. The request nonce is consumed; replaying the exact
+// same request (same from/to/amount, valid signature) returns the original
+// receipt without moving money again — the idempotence HTTP clients rely on
+// when they retry after a timeout or a bank restart. A request that reuses
+// the nonce with different terms fails with ErrNonceReused.
 func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 	if req.Amount <= 0 {
 		return Receipt{}, ErrNonPositive
@@ -271,37 +302,55 @@ func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 	if req.Nonce == "" {
 		return Receipt{}, errors.New("bank: empty transfer nonce")
 	}
+	r, wait, err := b.transferLocked(req)
+	if err != nil {
+		return Receipt{}, err
+	}
+	if err := commitWait(wait); err != nil {
+		return Receipt{}, err
+	}
+	return r, nil
+}
+
+func (b *Bank) transferLocked(req TransferRequest) (Receipt, func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	from, ok := b.accounts[req.From]
 	if !ok {
-		return Receipt{}, fmt.Errorf("%w: %q", ErrNoAccount, req.From)
+		return Receipt{}, nil, fmt.Errorf("%w: %q", ErrNoAccount, req.From)
 	}
 	to, ok := b.accounts[req.To]
 	if !ok {
-		return Receipt{}, fmt.Errorf("%w: %q", ErrNoAccount, req.To)
+		return Receipt{}, nil, fmt.Errorf("%w: %q", ErrNoAccount, req.To)
 	}
 	if !pki.Verify(from.Owner, req.SigningBytes(), req.Sig) {
 		mRejectedSigs.Inc()
-		return Receipt{}, ErrBadAuthorization
+		return Receipt{}, nil, ErrBadAuthorization
+	}
+	if prev, ok := b.receipts[req.Nonce]; ok {
+		if prev.From == req.From && prev.To == req.To && prev.Amount == req.Amount {
+			mTransferReplays.Inc()
+			return prev, nil, nil // already applied — return the stored receipt
+		}
+		mNonceReuse.Inc()
+		return Receipt{}, nil, ErrNonceReused
 	}
 	if b.nonces[req.Nonce] {
 		mNonceReuse.Inc()
-		return Receipt{}, ErrNonceReused
+		return Receipt{}, nil, ErrNonceReused
 	}
 	if from.Balance < req.Amount {
 		mInsufficient.Inc()
-		return Receipt{}, fmt.Errorf("%w: %q has %v, needs %v",
+		return Receipt{}, nil, fmt.Errorf("%w: %q has %v, needs %v",
 			ErrInsufficientFunds, req.From, from.Balance, req.Amount)
 	}
 	nb, err := addChecked(to.Balance, req.Amount)
 	if err != nil {
-		return Receipt{}, err
+		return Receipt{}, nil, err
 	}
 	from.Balance -= req.Amount
 	to.Balance = nb
 	b.nonces[req.Nonce] = true
-	b.appendEntry(EntryTransfer, req.From, req.To, req.Amount, "")
 	mTransfers.Inc()
 	mTransferAmount.Observe(req.Amount.Credits())
 
@@ -313,7 +362,9 @@ func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 		At:         b.clock.Now(),
 	}
 	r.BankSig = b.id.Sign(r.SigningBytes())
-	return r, nil
+	b.receipts[req.Nonce] = r
+	b.appendEntryAt(EntryTransfer, req.From, req.To, req.Amount, "", r.At)
+	return r, b.stage(encTransfer(r)), nil
 }
 
 // MoveInternal transfers between two accounts that share an owner key, on
@@ -324,32 +375,41 @@ func (b *Bank) MoveInternal(owner *pki.Identity, from, to AccountID, amount Amou
 	if amount <= 0 {
 		return ErrNonPositive
 	}
+	wait, err := b.moveInternalLocked(owner, from, to, amount, kind, memo)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) moveInternalLocked(owner *pki.Identity, from, to AccountID, amount Amount, kind EntryKind, memo string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	f, ok := b.accounts[from]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, from)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, from)
 	}
 	t, ok := b.accounts[to]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, to)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, to)
 	}
 	if !f.Owner.Equal(owner.Public()) {
-		return ErrBadAuthorization
+		return nil, ErrBadAuthorization
 	}
 	if f.Balance < amount {
 		mInsufficient.Inc()
-		return fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
+		return nil, fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
 	}
 	nb, err := addChecked(t.Balance, amount)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	f.Balance -= amount
 	t.Balance = nb
-	b.appendEntry(kind, from, to, amount, memo)
+	at := b.clock.Now()
+	b.appendEntryAt(kind, from, to, amount, memo, at)
 	mInternalMoves.Inc()
-	return nil
+	return b.stage(encMove(kind, from, to, amount, memo, at)), nil
 }
 
 // VerifyReceipt checks a receipt's bank signature against bankKey.
@@ -357,17 +417,19 @@ func VerifyReceipt(bankKey ed25519.PublicKey, r Receipt) bool {
 	return pki.Verify(bankKey, r.SigningBytes(), r.BankSig)
 }
 
-// appendEntry records a ledger entry; callers hold b.mu.
-func (b *Bank) appendEntry(kind EntryKind, from, to AccountID, amount Amount, memo string) {
+// appendEntryAt records a ledger entry stamped at; callers hold b.mu. WAL
+// replay passes the originally recorded time so recovered ledgers match the
+// pre-crash ones.
+func (b *Bank) appendEntryAt(kind EntryKind, from, to AccountID, amount Amount, memo string, at time.Time) {
 	b.seq++
 	b.ledger = append(b.ledger, Entry{
 		Seq: b.seq, Kind: kind, From: from, To: to,
-		Amount: amount, Memo: memo, At: b.clock.Now(),
+		Amount: amount, Memo: memo, At: at,
 	})
 	// Money moves executed inside a job scope (funding, refunds, boosts) show
 	// up on that job's timeline — the GridBank-style per-job accounting trail.
 	if s := b.tracer.Current(); s.Recording() {
-		s.AddEventAt(b.clock.Now(), "bank."+string(kind),
+		s.AddEventAt(at, "bank."+string(kind),
 			tracing.String("from", string(from)),
 			tracing.String("to", string(to)),
 			tracing.String("amount", amount.String()),
@@ -396,13 +458,30 @@ func (b *Bank) History(id AccountID) []Entry {
 // TotalMoney returns the sum of all balances — conserved by every operation
 // except Deposit; the invariant the property tests verify.
 func (b *Bank) TotalMoney() Amount {
+	total, _, _ := b.Totals()
+	return total
+}
+
+// Totals returns the three quantities a single-bank conservation check
+// needs: the sum of all balances, the money parked in outstanding holds,
+// and the portion of held money whose two-phase credit has already landed
+// on this same bank (so counting both the hold and the credited balance
+// would double-count it). TotalMoney + HeldTotal − landed is invariant
+// under every operation except Deposit, at every stage of the two-phase
+// protocol and across any crash schedule.
+func (b *Bank) Totals() (total, held, landed Amount) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var total Amount
 	for _, a := range b.accounts {
 		total += a.Balance
 	}
-	return total
+	for _, h := range b.holds {
+		held += h.Amount
+		if b.credited[h.TX] {
+			landed += h.Amount
+		}
+	}
+	return total, held, landed
 }
 
 // Accounts returns the ids of all accounts, in no particular order.

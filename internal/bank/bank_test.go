@@ -1,6 +1,7 @@
 package bank
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -121,11 +122,26 @@ func TestTransferRejectsForgedSignature(t *testing.T) {
 func TestTransferNonceReplay(t *testing.T) {
 	f := newFixture(t)
 	req := signedTransfer(f.alice, "alice", "bob", Credit, "dup")
-	if _, err := f.bank.Transfer(req); err != nil {
+	first, err := f.bank.Transfer(req)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.bank.Transfer(req); !errors.Is(err, ErrNonceReused) {
-		t.Errorf("replay: %v", err)
+	// Replaying the identical request is an idempotent retry: the stored
+	// receipt comes back and no money moves a second time.
+	again, err := f.bank.Transfer(req)
+	if err != nil {
+		t.Fatalf("idempotent replay: %v", err)
+	}
+	if !bytes.Equal(again.BankSig, first.BankSig) || again.At != first.At {
+		t.Errorf("replay returned a different receipt: %+v vs %+v", again, first)
+	}
+	if bal, _ := f.bank.Balance("bob"); bal != Credit {
+		t.Errorf("replay moved money twice: bob has %v", bal)
+	}
+	// Reusing the nonce with different terms is a replay attack and fails.
+	other := signedTransfer(f.alice, "alice", "bob", 2*Credit, "dup")
+	if _, err := f.bank.Transfer(other); !errors.Is(err, ErrNonceReused) {
+		t.Errorf("nonce reuse with new terms: %v", err)
 	}
 }
 

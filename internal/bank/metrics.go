@@ -24,4 +24,9 @@ var (
 		"Transfers and internal moves rejected for insufficient balance.")
 	mInternalMoves = metrics.Default().Counter("bank_internal_moves_total",
 		"Broker/auctioneer-initiated moves (charges, refunds, funding).")
+	mTransferReplays = metrics.Default().Counter("bank_transfer_replays_total",
+		"Transfers answered from the stored receipt (idempotent client retry).")
+	mRecoverySeconds = metrics.Default().Histogram("bank_recovery_seconds",
+		"Time to rebuild bank state from the latest snapshot plus WAL replay.",
+		[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
 )

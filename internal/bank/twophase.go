@@ -76,26 +76,35 @@ func (b *Bank) PrepareDebit(owner *pki.Identity, from, to AccountID, amount Amou
 	if tx == "" {
 		return errors.New("bank: empty transaction id")
 	}
+	wait, err := b.prepareDebitLocked(owner, from, to, amount, tx)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) prepareDebitLocked(owner *pki.Identity, from, to AccountID, amount Amount, tx string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.holds[tx]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateHold, tx)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateHold, tx)
 	}
 	f, ok := b.accounts[from]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, from)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, from)
 	}
 	if !f.Owner.Equal(owner.Public()) {
-		return ErrBadAuthorization
+		return nil, ErrBadAuthorization
 	}
 	if f.Balance < amount {
 		mInsufficient.Inc()
-		return fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
+		return nil, fmt.Errorf("%w: %q has %v, needs %v", ErrInsufficientFunds, from, f.Balance, amount)
 	}
 	f.Balance -= amount
-	b.holds[tx] = &Hold{TX: tx, From: from, To: to, Amount: amount, At: b.clock.Now()}
-	b.appendEntry(EntryPrepare, from, "", amount, tx)
-	return nil
+	h := &Hold{TX: tx, From: from, To: to, Amount: amount, At: b.clock.Now()}
+	b.holds[tx] = h
+	b.appendEntryAt(EntryPrepare, from, "", amount, tx, h.At)
+	return b.stage(encPrepare(h, false)), nil
 }
 
 // PrepareTransfer is PrepareDebit authorized by an owner-signed
@@ -109,49 +118,71 @@ func (b *Bank) PrepareTransfer(req TransferRequest) error {
 	if req.Nonce == "" {
 		return errors.New("bank: empty transfer nonce")
 	}
+	wait, err := b.prepareTransferLocked(req)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) prepareTransferLocked(req TransferRequest) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, ok := b.holds[req.Nonce]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateHold, req.Nonce)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateHold, req.Nonce)
 	}
 	f, ok := b.accounts[req.From]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, req.From)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, req.From)
 	}
 	if !pki.Verify(f.Owner, req.SigningBytes(), req.Sig) {
 		mRejectedSigs.Inc()
-		return ErrBadAuthorization
+		return nil, ErrBadAuthorization
 	}
 	if b.nonces[req.Nonce] {
 		mNonceReuse.Inc()
-		return ErrNonceReused
+		return nil, ErrNonceReused
 	}
 	if f.Balance < req.Amount {
 		mInsufficient.Inc()
-		return fmt.Errorf("%w: %q has %v, needs %v",
+		return nil, fmt.Errorf("%w: %q has %v, needs %v",
 			ErrInsufficientFunds, req.From, f.Balance, req.Amount)
 	}
 	f.Balance -= req.Amount
 	b.nonces[req.Nonce] = true
-	b.holds[req.Nonce] = &Hold{
+	h := &Hold{
 		TX: req.Nonce, From: req.From, To: req.To, Amount: req.Amount, At: b.clock.Now(),
 	}
-	b.appendEntry(EntryPrepare, req.From, "", req.Amount, req.Nonce)
-	return nil
+	b.holds[req.Nonce] = h
+	b.appendEntryAt(EntryPrepare, req.From, "", req.Amount, req.Nonce, h.At)
+	return b.stage(encPrepare(h, true)), nil
 }
 
 // MarkCommitted durably records the commit decision on the source bank. It
 // is the protocol's point of no return: once marked, recovery must complete
-// the credit rather than abort.
+// the credit rather than abort. The decision is journaled before this
+// returns, so a bank that acknowledged a commit re-derives the same decision
+// after a crash.
 func (b *Bank) MarkCommitted(tx string) error {
+	wait, err := b.markCommittedLocked(tx)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) markCommittedLocked(tx string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	h, ok := b.holds[tx]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownHold, tx)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHold, tx)
+	}
+	if h.Committed {
+		return nil, nil // already durable — idempotent replay
 	}
 	h.Committed = true
-	return nil
+	return b.stage(encTx(walCommit, tx)), nil
 }
 
 // CreditPrepared applies the destination half of a committed transfer. It is
@@ -164,68 +195,94 @@ func (b *Bank) CreditPrepared(to AccountID, amount Amount, tx, memo string) erro
 	if tx == "" {
 		return errors.New("bank: empty transaction id")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.credited[tx] {
-		return nil // already applied — recovery replay
-	}
-	t, ok := b.accounts[to]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoAccount, to)
-	}
-	nb, err := addChecked(t.Balance, amount)
+	wait, err := b.creditPreparedLocked(to, amount, tx, memo)
 	if err != nil {
 		return err
 	}
+	return commitWait(wait)
+}
+
+func (b *Bank) creditPreparedLocked(to AccountID, amount Amount, tx, memo string) (func() error, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.credited[tx] {
+		return nil, nil // already applied — recovery replay
+	}
+	t, ok := b.accounts[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, to)
+	}
+	nb, err := addChecked(t.Balance, amount)
+	if err != nil {
+		return nil, err
+	}
 	t.Balance = nb
 	b.credited[tx] = true
-	b.appendEntry(EntryCommitCredit, "", to, amount, memo)
-	return nil
+	at := b.clock.Now()
+	b.appendEntryAt(EntryCommitCredit, "", to, amount, memo, at)
+	return b.stage(encCredit(tx, to, amount, memo, at)), nil
 }
 
 // FinalizeDebit burns a committed hold: the money has landed at the
 // destination, so the source shard stops counting it. Finalizing an
 // uncommitted hold is a protocol error.
 func (b *Bank) FinalizeDebit(tx string) error {
+	wait, err := b.finalizeDebitLocked(tx)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) finalizeDebitLocked(tx string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	h, ok := b.holds[tx]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownHold, tx)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHold, tx)
 	}
 	if !h.Committed {
-		return fmt.Errorf("%w: finalize of uncommitted %q", ErrHoldState, tx)
+		return nil, fmt.Errorf("%w: finalize of uncommitted %q", ErrHoldState, tx)
 	}
 	delete(b.holds, tx)
-	return nil
+	return b.stage(encTx(walFinalize, tx)), nil
 }
 
 // AbortDebit cancels an uncommitted hold, returning the money to the source
 // account. Aborting a committed hold is a protocol error: the commit
 // decision is final.
 func (b *Bank) AbortDebit(tx string) error {
+	wait, err := b.abortDebitLocked(tx)
+	if err != nil {
+		return err
+	}
+	return commitWait(wait)
+}
+
+func (b *Bank) abortDebitLocked(tx string) (func() error, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	h, ok := b.holds[tx]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownHold, tx)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHold, tx)
 	}
 	if h.Committed {
-		return fmt.Errorf("%w: abort of committed %q", ErrHoldState, tx)
+		return nil, fmt.Errorf("%w: abort of committed %q", ErrHoldState, tx)
 	}
 	a, ok := b.accounts[h.From]
 	if !ok {
 		// Accounts are never deleted; a missing source is an internal bug.
-		return fmt.Errorf("%w: %q", ErrNoAccount, h.From)
+		return nil, fmt.Errorf("%w: %q", ErrNoAccount, h.From)
 	}
 	nb, err := addChecked(a.Balance, h.Amount)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	a.Balance = nb
 	delete(b.holds, tx)
-	b.appendEntry(EntryAbort, "", h.From, h.Amount, tx)
-	return nil
+	at := b.clock.Now()
+	b.appendEntryAt(EntryAbort, "", h.From, h.Amount, tx, at)
+	return b.stage(encAbort(tx, at)), nil
 }
 
 // ForgetCredit prunes the idempotence record for tx once the coordinator has
@@ -233,8 +290,17 @@ func (b *Bank) AbortDebit(tx string) error {
 // keeping the record would only grow memory without bound.
 func (b *Bank) ForgetCredit(tx string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	delete(b.credited, tx)
+	var wait func() error
+	if b.credited[tx] {
+		delete(b.credited, tx)
+		wait = b.stage(encTx(walForget, tx))
+	}
+	b.mu.Unlock()
+	// Pruning an idempotence record is garbage collection: losing the record
+	// to a crash is safe (a replayed credit is simply deduplicated again), so
+	// a journal error here is not surfaced — the store is already poisoned
+	// and the next money-moving operation will report it.
+	_ = commitWait(wait)
 }
 
 // Holds returns the outstanding holds sorted by transaction id — the

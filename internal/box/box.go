@@ -45,6 +45,10 @@ type Config struct {
 	Partitions int
 	Strategy   string        // "" = the meta default (current-price)
 	Horizon    time.Duration // forecast horizon for prediction strategies
+	// SpentStore overrides the broker verifier's double-spend set; nil keeps
+	// the in-memory default. Daemons pass a token.DurableSpentStore so spent
+	// transfer ids survive restarts.
+	SpentStore token.SpentStore
 }
 
 // DefaultConfig returns a small but real market.
@@ -153,7 +157,7 @@ func New(cfg Config) (*Box, error) {
 
 	// One verifier for all partitions: replay protection must be global, or
 	// the same token could be redeemed once per partition agent.
-	verifier, err := token.NewVerifier(ledger.PublicKey(), ca.Certificate(), "broker", nil)
+	verifier, err := token.NewVerifier(ledger.PublicKey(), ca.Certificate(), "broker", cfg.SpentStore)
 	if err != nil {
 		return nil, err
 	}

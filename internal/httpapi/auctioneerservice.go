@@ -70,6 +70,22 @@ func (s *AuctioneerService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// ReplayPrices seeds every statistics window with historical price samples,
+// oldest first. A restarting auctioneerd feeds its recovered price log
+// through this before serving, so prediction quantiles and moving moments
+// pick up where the crashed process left off instead of relearning from an
+// empty window.
+func (s *AuctioneerService) ReplayPrices(prices []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range prices {
+		for _, t := range s.trackers {
+			t.moments.Observe(p)
+			t.dist.Observe(p)
+		}
+	}
+}
+
 // Wire types.
 type (
 	// MarketStatus is the host's public market state.

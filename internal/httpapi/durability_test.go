@@ -1,0 +1,204 @@
+package httpapi
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tycoongrid/internal/bank"
+	"tycoongrid/internal/durable"
+	"tycoongrid/internal/pki"
+	"tycoongrid/internal/sim"
+)
+
+func durableBank(t *testing.T, dir string, id *pki.Identity) (*bank.Bank, *durable.Store) {
+	t.Helper()
+	st, err := durable.Open(dir, durable.Options{Sync: durable.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bank.New(id, sim.WallClock{})
+	if _, err := b.AttachDurability(st, 0); err != nil {
+		t.Fatal(err)
+	}
+	return b, st
+}
+
+// TestTransferRetryAcrossBankRestart is the regression test for the
+// double-apply bug: a client that re-sends the identical signed transfer
+// after the bank restarted must get the original receipt back from the
+// recovered ledger, not a second execution (and not a 409 that would strand
+// the retry loop).
+func TestTransferRetryAcrossBankRestart(t *testing.T) {
+	ca, err := pki.NewDeterministicCA("/CN=CA", [32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankID, err := ca.IssueDeterministic("/CN=Bank", [32]byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := ca.IssueDeterministic("/CN=Alice", [32]byte{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	b1, st1 := durableBank(t, dir, bankID)
+	srv1 := httptest.NewServer(NewBankService(b1))
+	client := NewBankClient(srv1.URL, nil)
+	if _, err := client.CreateAccount("alice", alice.Public(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateAccount("bob", alice.Public(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Deposit("alice", 100*bank.Credit, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	req := bank.TransferRequest{From: "alice", To: "bob", Amount: 40 * bank.Credit, Nonce: "retry-1"}
+	req.Sig = alice.Sign(req.SigningBytes())
+	first, err := client.Transfer(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh process recovers the same data dir.
+	b2, st2 := durableBank(t, dir, bankID)
+	defer st2.Close()
+	srv2 := httptest.NewServer(NewBankService(b2))
+	defer srv2.Close()
+	client2 := NewBankClient(srv2.URL, nil)
+
+	// The client replays the exact same signed wire request (as its retry
+	// loop would after the original response was lost to the crash).
+	again, err := client2.Transfer(req)
+	if err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+	if !bytes.Equal(again.BankSig, first.BankSig) || !again.At.Equal(first.At) {
+		t.Errorf("retry receipt differs: %+v vs %+v", again, first)
+	}
+	if bal, _ := client2.Balance("alice"); bal != 60*bank.Credit {
+		t.Errorf("transfer applied twice: alice = %v", bal)
+	}
+	if bal, _ := client2.Balance("bob"); bal != 40*bank.Credit {
+		t.Errorf("bob = %v", bal)
+	}
+}
+
+func TestTwoPhaseOverHTTP(t *testing.T) {
+	ca, err := pki.NewDeterministicCA("/CN=CA", [32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankID, err := ca.IssueDeterministic("/CN=Bank", [32]byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := ca.IssueDeterministic("/CN=Alice", [32]byte{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bank.New(bankID, sim.WallClock{})
+	srv := httptest.NewServer(NewBankService(b))
+	defer srv.Close()
+	client := NewBankClient(srv.URL, nil)
+	if _, err := client.CreateAccount("alice", alice.Public(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateAccount("bob", alice.Public(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Deposit("alice", 100*bank.Credit, "seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	req := bank.TransferRequest{From: "alice", To: "bob", Amount: 25 * bank.Credit, Nonce: "tx2pc"}
+	req.Sig = alice.Sign(req.SigningBytes())
+	hold, err := client.PrepareTransfer(req)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if hold.Committed || hold.Amount != (25*bank.Credit).String() {
+		t.Fatalf("hold = %+v", hold)
+	}
+	// Conservation mid-protocol: balances 75, held 25.
+	totals, err := client.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Conserved != (100 * bank.Credit).String() {
+		t.Errorf("mid-protocol conserved = %s", totals.Conserved)
+	}
+
+	if _, err := client.CreditTx("tx2pc"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("credit before commit: %v", err)
+	}
+	if hold, err = client.CommitTx("tx2pc"); err != nil || !hold.Committed {
+		t.Fatalf("commit: %v %+v", err, hold)
+	}
+	if err := client.AbortTx("tx2pc"); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("abort after commit: %v", err)
+	}
+	if hold, err = client.CreditTx("tx2pc"); err != nil || !hold.CreditRecorded {
+		t.Fatalf("credit: %v %+v", err, hold)
+	}
+	// Credit landed but hold not finalized: /total must not double-count.
+	totals, err = client.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Conserved != (100 * bank.Credit).String() {
+		t.Errorf("post-credit conserved = %s (total %s held %s landed %s)",
+			totals.Conserved, totals.Total, totals.Held, totals.Landed)
+	}
+	if err := client.FinalizeTx("tx2pc"); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	holds, err := client.Holds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holds) != 0 {
+		t.Errorf("outstanding holds after finalize: %+v", holds)
+	}
+	if bal, _ := client.Balance("bob"); bal != 25*bank.Credit {
+		t.Errorf("bob = %v", bal)
+	}
+}
+
+func TestGateUntilReady(t *testing.T) {
+	h := NewHealth("bankd", "wal")
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	gated := h.GateUntilReady(app)
+
+	rec := httptest.NewRecorder()
+	gated.ServeHTTP(rec, httptest.NewRequest("GET", "/accounts/x", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-recovery status = %d, want 503", rec.Code)
+	}
+
+	h.MarkReady("wal")
+	rec = httptest.NewRecorder()
+	gated.ServeHTTP(rec, httptest.NewRequest("GET", "/accounts/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-recovery status = %d, want 200", rec.Code)
+	}
+
+	// Draining must not re-engage the gate — in-flight clients finish.
+	h.StartDrain()
+	rec = httptest.NewRecorder()
+	gated.ServeHTTP(rec, httptest.NewRequest("GET", "/accounts/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("draining status = %d, want 200", rec.Code)
+	}
+}

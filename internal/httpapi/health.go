@@ -3,6 +3,7 @@ package httpapi
 import (
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -63,6 +64,38 @@ func (h *Health) Ready() (ok bool, draining bool, waiting []string) {
 	}
 	sort.Strings(waiting)
 	return len(waiting) == 0, false, waiting
+}
+
+// GateUntilReady wraps app so every request is answered 503 until the
+// daemon reports ready. Daemons that must finish WAL recovery before
+// serving (bankd) gate their whole API this way: a client can never read
+// or mutate a half-recovered ledger. Once ready the gate is a single
+// mutex-guarded boolean check; draining does NOT re-engage it, so in-flight
+// clients finish cleanly during graceful shutdown.
+func (h *Health) GateUntilReady(app http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ok, _, waiting := h.Ready(); !ok {
+			h.mu.Lock()
+			draining := h.draining
+			h.mu.Unlock()
+			if !draining {
+				w.Header().Set("Retry-After", "1")
+				WriteError(w, http.StatusServiceUnavailable,
+					errGate{service: h.service, waiting: waiting})
+				return
+			}
+		}
+		app.ServeHTTP(w, r)
+	})
+}
+
+type errGate struct {
+	service string
+	waiting []string
+}
+
+func (e errGate) Error() string {
+	return e.service + " still recovering: waiting for " + strings.Join(e.waiting, ", ")
 }
 
 // HealthResponse is the body of the /healthz endpoints.

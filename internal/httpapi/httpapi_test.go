@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -135,9 +136,23 @@ func TestBankServiceSignedTransferOverHTTP(t *testing.T) {
 	if amount != 20*bank.Credit {
 		t.Errorf("amount = %v", amount)
 	}
-	// Replay is a 409.
-	if _, err := s.bankC.Transfer(req); err == nil || !strings.Contains(err.Error(), "409") {
-		t.Errorf("replay: %v", err)
+	// Replaying the identical signed request is an idempotent retry: same
+	// receipt back, no second debit.
+	again, err := s.bankC.Transfer(req)
+	if err != nil {
+		t.Fatalf("idempotent replay: %v", err)
+	}
+	if !bytes.Equal(again.BankSig, receipt.BankSig) {
+		t.Error("replay returned a different receipt")
+	}
+	if bal, _ := s.bankC.Balance("alice"); bal != 30*bank.Credit {
+		t.Errorf("replay moved money twice: alice = %v", bal)
+	}
+	// Reusing the nonce with different terms is a 409.
+	reuse := bank.TransferRequest{From: "alice", To: "broker", Amount: 5 * bank.Credit, Nonce: "http-1"}
+	reuse.Sig = s.alice.Sign(reuse.SigningBytes())
+	if _, err := s.bankC.Transfer(reuse); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("nonce reuse: %v", err)
 	}
 	// Forged signature is a 403.
 	bad := bank.TransferRequest{From: "alice", To: "broker", Amount: bank.Credit, Nonce: "http-2"}

@@ -1,0 +1,118 @@
+package token
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tycoongrid/internal/durable"
+)
+
+// DurableSpentStore is a SpentStore whose consumed transfer ids survive
+// broker restarts: each Spend is journaled to a write-ahead log before it
+// returns true, so a token verified just before a crash can never be
+// double-spent after recovery. Records are the raw transfer id bytes; the
+// snapshot is the sorted id set, written every snapshotEvery spends so the
+// log stays bounded.
+type DurableSpentStore struct {
+	mu            sync.Mutex
+	used          map[string]bool
+	store         *durable.Store
+	snapshotEvery int
+	sinceSnap     int
+}
+
+// DefaultSpentSnapshotEvery is the spend count between snapshots when
+// NewDurableSpentStore is given a non-positive interval.
+const DefaultSpentSnapshotEvery = 65536
+
+// NewDurableSpentStore recovers the spent set from st and journals every
+// subsequent Spend to it. It takes ownership of recovery (st must not have
+// been recovered yet); the caller still owns Close.
+func NewDurableSpentStore(st *durable.Store, snapshotEvery int) (*DurableSpentStore, error) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DefaultSpentSnapshotEvery
+	}
+	s := &DurableSpentStore{
+		used:          make(map[string]bool),
+		store:         st,
+		snapshotEvery: snapshotEvery,
+	}
+	_, err := st.Recover(
+		func(snap []byte) error { return s.restore(snap) },
+		func(rec []byte) error {
+			s.used[string(rec)] = true
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("token: recover spent store: %w", err)
+	}
+	return s, nil
+}
+
+// Spend implements SpentStore. It returns true only once per id, and only
+// after the id is durably journaled; a journal failure reports the id as
+// already spent, which fails the verification closed rather than risking a
+// double spend the log cannot prove happened.
+func (s *DurableSpentStore) Spend(id string) bool {
+	s.mu.Lock()
+	if s.used[id] {
+		s.mu.Unlock()
+		return false
+	}
+	s.used[id] = true
+	wait := s.store.AppendAsync([]byte(id))
+	s.sinceSnap++
+	var snapErr error
+	if s.sinceSnap >= s.snapshotEvery {
+		s.sinceSnap = 0
+		snapErr = s.store.Snapshot(s.encode())
+	}
+	s.mu.Unlock()
+	if err := wait(); err != nil || snapErr != nil {
+		return false
+	}
+	return true
+}
+
+// Spent implements SpentStore.
+func (s *DurableSpentStore) Spent(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used[id]
+}
+
+// encode serializes the spent set deterministically; callers hold s.mu.
+// Layout: newline-separated ids (transfer ids are bank nonces, which never
+// contain newlines — they are hex/alnum strings minted by clients).
+func (s *DurableSpentStore) encode() []byte {
+	ids := make([]string, 0, len(s.used))
+	for id := range s.used {
+		ids = append(ids, id)
+	}
+	// Sorted so identical sets encode identically.
+	sort.Strings(ids)
+	var out []byte
+	for _, id := range ids {
+		out = append(out, id...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+func (s *DurableSpentStore) restore(snap []byte) error {
+	start := 0
+	for i, c := range snap {
+		if c == '\n' {
+			if i > start {
+				s.used[string(snap[start:i])] = true
+			}
+			start = i + 1
+		}
+	}
+	if start < len(snap) { // tolerate a missing trailing newline
+		s.used[string(snap[start:])] = true
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package token
+
+import (
+	"fmt"
+	"testing"
+
+	"tycoongrid/internal/durable"
+)
+
+func openSpent(t *testing.T, dir string, snapshotEvery int) (*DurableSpentStore, *durable.Store) {
+	t.Helper()
+	st, err := durable.Open(dir, durable.Options{Sync: durable.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDurableSpentStore(st, snapshotEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func TestDurableSpentStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, st := openSpent(t, dir, 0)
+	if !s.Spend("tx-1") {
+		t.Fatal("first spend refused")
+	}
+	if s.Spend("tx-1") {
+		t.Fatal("double spend allowed")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st2 := openSpent(t, dir, 0)
+	defer st2.Close()
+	if !s2.Spent("tx-1") {
+		t.Error("spent id forgotten across restart")
+	}
+	if s2.Spend("tx-1") {
+		t.Error("double spend allowed after restart")
+	}
+	if !s2.Spend("tx-2") {
+		t.Error("fresh id refused after restart")
+	}
+}
+
+func TestDurableSpentStoreSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, st := openSpent(t, dir, 5) // snapshot every 5 spends
+	for i := 0; i < 23; i++ {
+		if !s.Spend(fmt.Sprintf("tx-%02d", i)) {
+			t.Fatalf("spend %d refused", i)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st2 := openSpent(t, dir, 5)
+	defer st2.Close()
+	for i := 0; i < 23; i++ {
+		if !s2.Spent(fmt.Sprintf("tx-%02d", i)) {
+			t.Errorf("tx-%02d lost across snapshotting restart", i)
+		}
+	}
+}
