@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke bench-http recovery-smoke chaos trace-demo lint check
+.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke bench-http recovery-smoke telemetry-smoke chaos trace-demo lint check
 
 all: build test
 
@@ -35,6 +35,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTraceparent$$' -fuzztime $(FUZZTIME) ./internal/tracing
 	$(GO) test -run '^$$' -fuzz '^FuzzRing$$' -fuzztime $(FUZZTIME) ./internal/pricefeed
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecover$$' -fuzztime $(FUZZTIME) ./internal/durable
+	$(GO) test -run '^$$' -fuzz '^FuzzHistoryQuery$$' -fuzztime $(FUZZTIME) ./internal/telemetry
 
 # Static analysis beyond go vet. Pinned so results are reproducible; the
 # binary is not vendored and this environment cannot fetch it, so the target
@@ -90,10 +91,18 @@ trace-demo:
 	echo "$$out" | grep -q 'completed' || { echo "trace-demo: no completed event"; exit 1; }; \
 	echo "trace-demo: timeline OK"
 
+# Telemetry-plane smoke: boot real bankd (handler-latency chaos armed via
+# TYCOON_CHAOS_HANDLER_*) and slsd hosting the fleet aggregator, assert
+# /metrics/history and /slo respond, the injected latency trips the
+# request-latency-p99 SLO within one evaluation window, and gridtop -once
+# renders the violation (daemon mode) and the peer table (fleet mode).
+telemetry-smoke:
+	$(GO) test -run '^TestTelemetrySmoke$$' -count=1 ./cmd/gridtop
+
 # End-to-end fault-tolerance run: the full market under 20%+ host churn,
 # race-checked. Deterministic — rerun a failure with the same seed.
 CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet lint race-check fuzz-short chaos trace-demo scale-smoke recovery-smoke
+check: vet lint race-check fuzz-short chaos trace-demo scale-smoke recovery-smoke telemetry-smoke

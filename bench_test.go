@@ -18,6 +18,7 @@ import (
 	"tycoongrid/internal/experiment"
 	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/tracing"
+	"tycoongrid/internal/tsdb"
 )
 
 // BenchmarkTable1EqualFunds regenerates Table 1: five users with equal
@@ -287,6 +288,89 @@ func BenchmarkAuctionClearMetricsOverhead(b *testing.B) {
 	b.ReportMetric(tickNs, "tick_ns")
 	b.ReportMetric(metricNs, "metric_ns")
 	b.ReportMetric(100*metricNs/tickNs, "overhead_%")
+}
+
+// BenchmarkAuctionClearTelemetryOverhead prices the full telemetry plane on
+// the auction clear hot path: the clear-latency histogram observation with
+// exemplars enabled (a recording span is current, so every Tick takes the
+// ObserveExemplar branch) while a tsdb collector self-scrapes the process
+// registry concurrently, exactly as a live daemon does. The probe prices
+// the per-clear telemetry delta — one time.Now, one scope load, one
+// exemplar observation — and the acceptance bar is overhead_% < 2.
+func BenchmarkAuctionClearTelemetryOverhead(b *testing.B) {
+	tr := tracing.Default()
+	oldRatio := tr.SampleRatio()
+	tr.SetSampleRatio(1)
+	defer tr.SetSampleRatio(oldRatio)
+	span := tr.StartRemote(tracing.SpanContext{}, "bench.telemetry")
+	release := tr.PushScope(span)
+	defer func() { release(); span.End() }()
+
+	start := time.Unix(1_000_000, 0)
+	m, err := auction.NewMarket(auction.Config{
+		HostID:       "bench-telemetry",
+		CapacityMHz:  5600,
+		ReservePrice: 1.0 / 3600,
+		Start:        start,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := start.Add(1000 * time.Hour)
+	for i := 0; i < 64; i++ {
+		budget, err := bank.FromCredits(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.PlaceBid(auction.BidderID(fmt.Sprintf("u%02d", i)), budget, deadline); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Self-scrape loop: collect the whole default registry into a tsdb on a
+	// tight cadence so the clears race real snapshot traffic.
+	collector := tsdb.NewCollector(metrics.Default(), tsdb.NewDB(512), time.Now)
+	stopScrape := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		collector.Run(stopScrape, 5*time.Millisecond)
+	}()
+	defer func() { close(stopScrape); <-scrapeDone }()
+
+	// Clear repeatedly at a frozen clock: every Tick is a full 64-bid clear
+	// with the exemplar-carrying latency observation live.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick(start)
+	}
+	b.StopTimer()
+	tickNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+	// Price what the telemetry plane added to each clear: reading the wall
+	// clock, loading the current scope, and the exemplar observation.
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("bench_clear_seconds", "probe", []float64{1e-5, 1e-4, 1e-3})
+	traceID := span.Context().TraceID.String()
+	const probes = 1 << 20
+	probeStart := time.Now()
+	for i := 0; i < probes; i++ {
+		t0 := time.Now()
+		if s := tr.Current(); s.Recording() {
+			h.ObserveExemplar(time.Since(t0).Seconds(), traceID)
+		} else {
+			h.Observe(time.Since(t0).Seconds())
+		}
+	}
+	telemetryNs := float64(time.Since(probeStart).Nanoseconds()) / probes
+
+	overhead := 100 * telemetryNs / tickNs
+	b.ReportMetric(tickNs, "tick_ns")
+	b.ReportMetric(telemetryNs, "telemetry_ns")
+	b.ReportMetric(overhead, "overhead_%")
+	if overhead >= 2 {
+		b.Errorf("telemetry costs %.3f%% of an auction clear, want < 2%%", overhead)
+	}
 }
 
 // benchSink defeats dead-code elimination in the tracing probe loop.

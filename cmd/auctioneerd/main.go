@@ -12,13 +12,16 @@ package main
 import (
 	"flag"
 	"log/slog"
+	"net/http"
 	"os"
 	"time"
 
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/durable"
+	"tycoongrid/internal/fault"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sls"
+	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/tracing"
 )
 
@@ -41,6 +44,8 @@ func main() {
 		"WAL fsync policy with -data-dir: always|interval|none")
 	snapshotEvery := flag.Int("snapshot-every", 0,
 		"price records between snapshots with -data-dir (0 = one week of ticks)")
+	scrapeEvery := flag.Duration("scrape-interval", telemetry.DefaultScrapeInterval,
+		"self-scrape cadence feeding /metrics/history and the SLO evaluator")
 	flag.Parse()
 	tracing.InitSlog("auctioneerd", os.Stderr, slog.LevelInfo)
 	tracing.Default().SetSampleRatio(*traceRatio)
@@ -136,12 +141,32 @@ func main() {
 		}()
 	}
 
+	plane := telemetry.NewPlane(telemetry.Config{
+		Service:  "auctioneerd",
+		Interval: *scrapeEvery,
+	})
+	stopTelemetry := make(chan struct{})
+	go plane.Run(stopTelemetry)
+
 	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	opts = append(opts, plane.MuxOptions()...)
 	if *pprofOn {
 		opts = append(opts, httpapi.WithPprof())
 	}
+
+	var app http.Handler = svc
+	if ccfg, armed, cerr := fault.HandlerFromEnv(); cerr != nil {
+		slog.Error("auctioneerd: bad chaos handler spec", "err", cerr)
+		os.Exit(1)
+	} else if armed {
+		slog.Warn("auctioneerd: handler chaos armed",
+			"max_latency", ccfg.MaxLatency, "error_rate", ccfg.ErrorRate)
+		app = fault.Handler(ccfg, app)
+	}
+
 	slog.Info("auctioneerd: listening", "host", *host, "capacity_mhz", *capacity, "addr", *addr)
 	drain := func() {
+		close(stopTelemetry)
 		health.StartDrain()
 		if prices != nil {
 			if err := prices.close(); err != nil {
@@ -149,7 +174,7 @@ func main() {
 			}
 		}
 	}
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", svc, opts...), drain); err != nil {
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("auctioneerd", app, opts...), drain); err != nil {
 		slog.Error("auctioneerd: serve failed", "err", err)
 		os.Exit(1)
 	}

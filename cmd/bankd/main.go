@@ -33,10 +33,12 @@ import (
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/durable"
+	"tycoongrid/internal/fault"
 	"tycoongrid/internal/fault/failpoint"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/tracing"
 )
 
@@ -54,6 +56,8 @@ func main() {
 		"flush period for -fsync interval")
 	snapshotEvery := flag.Int("snapshot-every", bank.DefaultSnapshotEvery,
 		"records between snapshots with -data-dir")
+	scrapeEvery := flag.Duration("scrape-interval", telemetry.DefaultScrapeInterval,
+		"self-scrape cadence feeding /metrics/history and the SLO evaluator")
 	flag.Parse()
 	tracing.InitSlog("bankd", os.Stderr, slog.LevelInfo)
 	tracing.Default().SetSampleRatio(*traceRatio)
@@ -119,16 +123,39 @@ func main() {
 		}()
 	}
 
+	// Telemetry plane: self-scrape into the embedded tsdb, evaluate the
+	// stock SLOs (the conservation probe recomputes the drift gauge each
+	// tick), and expose /metrics/history + /slo.
+	plane := telemetry.NewPlane(telemetry.Config{
+		Service:  "bankd",
+		Interval: *scrapeEvery,
+		Probes:   []func(){b.RecordConservation},
+	})
+	stopTelemetry := make(chan struct{})
+	go plane.Run(stopTelemetry)
+
 	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	opts = append(opts, plane.MuxOptions()...)
 	if *pprofOn {
 		opts = append(opts, httpapi.WithPprof())
+	}
+
+	var app = health.GateUntilReady(svc)
+	if ccfg, armed, cerr := fault.HandlerFromEnv(); cerr != nil {
+		slog.Error("bankd: bad chaos handler spec", "err", cerr)
+		os.Exit(1)
+	} else if armed {
+		slog.Warn("bankd: handler chaos armed",
+			"max_latency", ccfg.MaxLatency, "error_rate", ccfg.ErrorRate)
+		app = fault.Handler(ccfg, app)
 	}
 
 	slog.Info("bankd: listening", "addr", *addr,
 		"receipt_key", httpapi.EncodeKey(b.PublicKey()))
 	err = httpapi.Serve(*addr,
-		httpapi.ObservedMux("bankd", health.GateUntilReady(svc), opts...),
+		httpapi.ObservedMux("bankd", app, opts...),
 		func() {
+			close(stopTelemetry)
 			health.StartDrain()
 			if store != nil {
 				if cerr := store.Close(); cerr != nil {

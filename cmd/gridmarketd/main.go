@@ -36,7 +36,9 @@ import (
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/box"
 	"tycoongrid/internal/durable"
+	"tycoongrid/internal/fault"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/token"
 	"tycoongrid/internal/tracing"
 )
@@ -57,6 +59,8 @@ func main() {
 	horizon := flag.Duration("horizon", 30*time.Minute, "forecast horizon for prediction strategies")
 	dataDir := flag.String("data-dir", "",
 		"directory for the broker's durable spent-token log; empty = in-memory (spent ids lost on restart)")
+	scrapeEvery := flag.Duration("scrape-interval", telemetry.DefaultScrapeInterval,
+		"self-scrape cadence feeding /metrics/history and the SLO evaluator")
 	flag.Parse()
 	tracing.InitSlog("gridmarketd", os.Stderr, slog.LevelInfo)
 	if *speedup <= 0 {
@@ -128,13 +132,40 @@ func main() {
 	mux.HandleFunc("POST /demo/users", demo.createUser)
 	mux.HandleFunc("POST /demo/tokens", demo.mintToken)
 
+	// Telemetry plane: self-scrape into the embedded tsdb, evaluate the
+	// stock SLOs, expose /metrics/history + /slo. The conservation probe
+	// runs against the box's single in-process bank.
+	plane := telemetry.NewPlane(telemetry.Config{
+		Service:  "gridmarketd",
+		Interval: *scrapeEvery,
+		Probes:   []func(){b.Bank.RecordConservation},
+	})
+	stopTelemetry := make(chan struct{})
+	go plane.Run(stopTelemetry)
+
 	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	opts = append(opts, plane.MuxOptions()...)
 	if *pprofOn {
 		opts = append(opts, httpapi.WithPprof())
 	}
+
+	var app http.Handler = mux
+	if ccfg, armed, cerr := fault.HandlerFromEnv(); cerr != nil {
+		slog.Error("gridmarketd: bad chaos handler spec", "err", cerr)
+		os.Exit(1)
+	} else if armed {
+		slog.Warn("gridmarketd: handler chaos armed",
+			"max_latency", ccfg.MaxLatency, "error_rate", ccfg.ErrorRate)
+		app = fault.Handler(ccfg, app)
+	}
+
+	drain := func() {
+		close(stopTelemetry)
+		health.StartDrain()
+	}
 	slog.Info("gridmarketd: listening",
 		"hosts", *hosts, "cpus", *cpus, "speedup", *speedup, "addr", *addr)
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("gridmarketd", mux, opts...), health.StartDrain); err != nil {
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("gridmarketd", app, opts...), drain); err != nil {
 		slog.Error("gridmarketd: serve failed", "err", err)
 		os.Exit(1)
 	}

@@ -34,9 +34,11 @@ import (
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/durable"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/tracing"
+	"tycoongrid/internal/tsdb"
 )
 
 type runResult struct {
@@ -52,6 +54,16 @@ type runResult struct {
 	WALBytes      int64   `json:"wal_bytes"`
 	MoneyConserve bool    `json:"money_conserved"`
 	SlowdownVsMem float64 `json:"slowdown_vs_memory"`
+	// Telemetry recorded during the run by a tsdb self-scrape collector —
+	// the same plane the daemons run, so the artifact carries the
+	// server-side view next to the client-side percentiles above. The rate
+	// is the mean of the per-scrape http_requests_total:rate points (delta
+	// based, so correct per mode even though the process registry is shared
+	// across modes); the drift gauge must be exactly zero.
+	TelemetrySeries  int     `json:"telemetry_series"`
+	TelemetrySamples int     `json:"telemetry_samples"`
+	ServerReqPerSec  float64 `json:"server_requests_per_sec"`
+	DriftCredits     float64 `json:"conservation_drift_credits"`
 }
 
 type artifact struct {
@@ -197,6 +209,17 @@ func runMode(mode string, requests, clients, accounts int, seed int64, snapshotE
 	}
 	httpClient := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 
+	// Self-scrape telemetry for the duration of the run — the same collector
+	// plane the daemons run, so its cost is part of what we measure. The DB
+	// is fresh per mode and the seeding Collect here establishes the delta
+	// baseline against the (cumulative, process-wide) registry, so the rate
+	// series cover only this mode's traffic.
+	tdb := tsdb.NewDB(512)
+	col := tsdb.NewCollector(metrics.Default(), tdb, time.Now)
+	col.Collect()
+	stopScrape := make(chan struct{})
+	go col.Run(stopScrape, 100*time.Millisecond)
+
 	latencies := make([][]int64, clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
@@ -261,6 +284,35 @@ func runMode(mode string, requests, clients, accounts int, seed int64, snapshotE
 	total, held, landed := b.Totals()
 	want := bank.Amount(accounts) * bank.Amount(requests) * bank.Credit
 	res.MoneyConserve = total+held-landed == want
+
+	// Stop the scrape loop, publish the drift gauge, and take one final
+	// collect so the artifact's server-side view includes the last interval.
+	close(stopScrape)
+	b.RecordConservation()
+	col.Collect()
+	for _, n := range tdb.Names() {
+		s, ok := tdb.Lookup(n)
+		if !ok {
+			continue
+		}
+		pts := s.Window(24 * time.Hour)
+		res.TelemetrySeries++
+		res.TelemetrySamples += len(pts)
+		// Server throughput: sum each per-label child's mean rate.
+		if strings.HasPrefix(n, "http_requests_total{") &&
+			strings.HasSuffix(n, tsdb.SuffixRate) && len(pts) > 0 {
+			var sum float64
+			for _, p := range pts {
+				sum += p.V
+			}
+			res.ServerReqPerSec += sum / float64(len(pts))
+		}
+	}
+	if s, ok := tdb.Lookup("bank_conservation_drift_credits"); ok {
+		if pts := s.Window(24 * time.Hour); len(pts) > 0 {
+			res.DriftCredits = pts[len(pts)-1].V
+		}
+	}
 
 	var all []int64
 	for _, l := range latencies {

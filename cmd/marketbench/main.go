@@ -33,7 +33,6 @@ import (
 	"strings"
 	"time"
 
-	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/tracing"
 )
 
@@ -123,16 +122,14 @@ func main() {
 	}
 
 	// Every experiment above drove the instrumented market internals
-	// (auction clears, bank moves, grid ticks), so the aggregate metrics of
-	// the run are a free by-product — print them so the benchmark
-	// trajectory is observable run over run. Skipped when replicating:
-	// concurrent worlds interleave writes into the process-wide registry,
-	// so the final gauge values depend on completion order, and the
-	// replication aggregates above are the deterministic artifact.
-	if *reps <= 1 {
-		fmt.Println("=== METRICS SNAPSHOT ===")
-		metrics.Default().Snapshot().WriteText(os.Stdout)
-	}
+	// (auction clears, bank moves, grid ticks), so the final telemetry of
+	// the run is a free by-product: the metrics snapshot plus the tsdb
+	// series and SLO statuses the end-of-run capture derives from it. When
+	// replicating, concurrent worlds interleave writes into the process-wide
+	// registry and values depend on completion order, so the replicated
+	// output carries only the telemetry catalogue — sorted names and
+	// statuses, byte-identical across reruns and worker counts.
+	fmt.Print(telemetryFinish(*reps > 1))
 
 	// Each experiment ran under its own root span; the slowest one is the
 	// optimization target, so dump its tree as the run's parting diagnostic.

@@ -2,20 +2,29 @@
 // live auctioneers. Auctioneers register and heartbeat here; scheduling
 // agents query it for candidate hosts.
 //
+// With -peers, slsd additionally hosts the fleet telemetry aggregator — the
+// natural home, since the SLS already plays the "who is alive" index role:
+// it scrapes each peer's /metrics on the scrape interval and serves
+// fleet-wide rollups at /fleet and /fleet/history.
+//
 // Usage:
 //
 //	slsd -addr :7701 -ttl 60s
+//	slsd -addr :7701 -peers bankd=http://localhost:7700,h1=http://localhost:7710
 package main
 
 import (
 	"flag"
 	"log/slog"
+	"net/http"
 	"os"
 	"time"
 
+	"tycoongrid/internal/fault"
 	"tycoongrid/internal/httpapi"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/sls"
+	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/tracing"
 )
 
@@ -25,6 +34,10 @@ func main() {
 	prune := flag.Duration("prune", 5*time.Minute, "expired-entry sweep interval")
 	traceRatio := flag.Float64("trace", 1, "fraction of root traces recorded, 0..1")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	peers := flag.String("peers", "",
+		"comma-separated name=url scrape targets; non-empty hosts the fleet aggregator at /fleet")
+	scrapeEvery := flag.Duration("scrape-interval", telemetry.DefaultScrapeInterval,
+		"self-scrape and fleet-scrape cadence")
 	flag.Parse()
 	tracing.InitSlog("slsd", os.Stderr, slog.LevelInfo)
 	tracing.Default().SetSampleRatio(*traceRatio)
@@ -38,15 +51,49 @@ func main() {
 		}
 	}()
 
+	plane := telemetry.NewPlane(telemetry.Config{
+		Service:  "slsd",
+		Interval: *scrapeEvery,
+	})
+	stopTelemetry := make(chan struct{})
+	go plane.Run(stopTelemetry)
+
 	// The directory is ready as soon as it binds.
 	health := httpapi.NewHealth("slsd")
 	opts := []httpapi.MuxOption{httpapi.WithHealth(health)}
+	opts = append(opts, plane.MuxOptions()...)
 	if *pprofOn {
 		opts = append(opts, httpapi.WithPprof())
 	}
 
+	if *peers != "" {
+		peerList, err := telemetry.ParsePeers(*peers)
+		if err != nil {
+			slog.Error("slsd: bad -peers", "err", err)
+			os.Exit(1)
+		}
+		agg := telemetry.NewAggregator(telemetry.AggregatorConfig{Peers: peerList})
+		go agg.Run(stopTelemetry, *scrapeEvery)
+		opts = append(opts, agg.MuxOptions()...)
+		slog.Info("slsd: hosting fleet aggregator", "peers", len(peerList))
+	}
+
+	var app http.Handler = httpapi.NewSLSService(reg)
+	if ccfg, armed, cerr := fault.HandlerFromEnv(); cerr != nil {
+		slog.Error("slsd: bad chaos handler spec", "err", cerr)
+		os.Exit(1)
+	} else if armed {
+		slog.Warn("slsd: handler chaos armed",
+			"max_latency", ccfg.MaxLatency, "error_rate", ccfg.ErrorRate)
+		app = fault.Handler(ccfg, app)
+	}
+
+	drain := func() {
+		close(stopTelemetry)
+		health.StartDrain()
+	}
 	slog.Info("slsd: listening", "addr", *addr, "ttl", ttl.String())
-	if err := httpapi.Serve(*addr, httpapi.ObservedMux("slsd", httpapi.NewSLSService(reg), opts...), health.StartDrain); err != nil {
+	if err := httpapi.Serve(*addr, httpapi.ObservedMux("slsd", app, opts...), drain); err != nil {
 		slog.Error("slsd: serve failed", "err", err)
 		os.Exit(1)
 	}

@@ -310,6 +310,7 @@ func (m *Market) totalRateLocked() float64 {
 // It returns the charges and the refunds of bids that expired past their
 // deadline with money left (deadline reached: leftover goes back).
 func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
+	wallStart := time.Now()
 	m.mu.Lock()
 	dt := now.Sub(m.now).Seconds()
 	if dt < 0 {
@@ -359,6 +360,11 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 			tracing.String("host", m.hostID),
 			tracing.String("price", fmt.Sprintf("%.6f", price)),
 			tracing.String("charges", fmt.Sprintf("%d", len(charges))))
+		// The exemplar pins this exact clear's trace to whatever latency
+		// bucket it lands in, so a fleet p99 regression links to a trace.
+		mClearSeconds.ObserveExemplar(time.Since(wallStart).Seconds(), s.Context().TraceID.String())
+	} else {
+		mClearSeconds.Observe(time.Since(wallStart).Seconds())
 	}
 
 	// Observers run outside the lock so they may call back into the market.

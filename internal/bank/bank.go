@@ -139,6 +139,13 @@ type Bank struct {
 	ledgerCap int // 0 = unbounded
 	tracer    *tracing.Tracer
 
+	// Conservation accounting (conservation.go): baseline is the invariant
+	// total captured at construction or after WAL recovery; minted is the
+	// money legitimately created by Deposit since then. Drift() should be
+	// zero forever — the money-conservation SLO alerts when it is not.
+	baseline Amount
+	minted   Amount
+
 	journal       *durable.Store // nil = in-memory only
 	snapshotEvery int
 	recSinceSnap  int
@@ -283,6 +290,7 @@ func (b *Bank) depositLocked(id AccountID, amount Amount, memo string) (func() e
 		return nil, err
 	}
 	a.Balance = nb
+	b.minted += amount
 	at := b.clock.Now()
 	b.appendEntryAt(EntryDeposit, "", id, amount, memo, at)
 	mDeposits.Inc()
@@ -302,12 +310,18 @@ func (b *Bank) Transfer(req TransferRequest) (Receipt, error) {
 	if req.Nonce == "" {
 		return Receipt{}, errors.New("bank: empty transfer nonce")
 	}
+	wallStart := time.Now()
 	r, wait, err := b.transferLocked(req)
 	if err != nil {
 		return Receipt{}, err
 	}
 	if err := commitWait(wait); err != nil {
 		return Receipt{}, err
+	}
+	if s := b.tracer.Current(); s.Recording() {
+		mTransferSeconds.ObserveExemplar(time.Since(wallStart).Seconds(), s.Context().TraceID.String())
+	} else {
+		mTransferSeconds.Observe(time.Since(wallStart).Seconds())
 	}
 	return r, nil
 }

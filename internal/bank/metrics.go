@@ -29,4 +29,7 @@ var (
 	mRecoverySeconds = metrics.Default().Histogram("bank_recovery_seconds",
 		"Time to rebuild bank state from the latest snapshot plus WAL replay.",
 		[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	mTransferSeconds = metrics.Default().Histogram("bank_transfer_seconds",
+		"Wall time of one executed transfer, group-commit wait included; exemplars carry the active trace.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.5})
 )

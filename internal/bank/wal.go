@@ -71,6 +71,10 @@ func (b *Bank) AttachDurability(st *durable.Store, snapshotEvery int) (durable.R
 	}
 	b.journal = st
 	b.snapshotEvery = snapshotEvery
+	// Recovered state is the new conservation baseline: replayed deposits
+	// are already inside it, so the minted ledger restarts from zero.
+	b.baseline = b.invariantLocked()
+	b.minted = 0
 	return stats, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/grid"
 	"tycoongrid/internal/mathx"
+	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/pki"
 	"tycoongrid/internal/rng"
 	"tycoongrid/internal/sim"
@@ -123,6 +124,11 @@ type StrategyOutcome struct {
 	PredMAE float64
 	// Picks counts matchmaking decisions per partition name.
 	Picks map[string]int
+	// Clears and Transfers capture the run's telemetry: auction clears and
+	// bank transfers recorded by the process registry while this strategy's
+	// world ran (a snapshot delta, deterministic for a seeded serial run).
+	Clears    uint64
+	Transfers uint64
 }
 
 // StrategiesResult is the full comparison.
@@ -443,12 +449,16 @@ func runOneStrategy(p StrategiesParams, stratName string) (*StrategyOutcome, err
 		}
 	}
 
+	snapBefore := metrics.Default().Snapshot()
 	w.eng.RunFor(horizon)
+	telemetry := metrics.Default().Snapshot().Delta(snapBefore)
 
 	if len(measured) == 0 {
 		return nil, fmt.Errorf("no measured jobs submitted (%d errors)", measureErrs)
 	}
 	out := &StrategyOutcome{Strategy: stratName, Picks: map[string]int{}, Failed: measureErrs}
+	out.Clears = counterDelta(telemetry, "auction_clears_total")
+	out.Transfers = counterDelta(telemetry, "bank_transfers_total")
 	var costW, mkspW, volW mathx.Welford
 	for _, gj := range measured {
 		pi := w.jobPartition(gj)
@@ -476,6 +486,17 @@ func runOneStrategy(p StrategiesParams, stratName string) (*StrategyOutcome, err
 	out.Volatility = volW.Mean()
 	out.PredMAE = w.meta.PredictionStats().MeanAbsError
 	return out, nil
+}
+
+// counterDelta sums one counter family's children in a snapshot delta.
+func counterDelta(s metrics.Snapshot, family string) uint64 {
+	var sum uint64
+	for _, c := range s.Counters {
+		if c.Name == family {
+			sum += c.Value
+		}
+	}
+	return sum
 }
 
 // jobPartition maps a measured job to the partition it ran in.
@@ -530,12 +551,13 @@ func (w *stratWorld) partitionPriceStd(pi int, from, to time.Time) (float64, boo
 // String renders the comparison as an aligned table.
 func (r *StrategiesResult) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-20s %10s %12s %12s %12s %6s %6s  %s\n",
-		"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "fail", "picks")
+	fmt.Fprintf(&sb, "%-20s %10s %12s %12s %12s %6s %6s %8s %8s  %s\n",
+		"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "fail",
+		"clears", "txns", "picks")
 	for _, o := range r.Outcomes {
-		fmt.Fprintf(&sb, "%-20s %10.3f %12.1f %12.6f %12.6f %6d %6d  %s\n",
+		fmt.Fprintf(&sb, "%-20s %10.3f %12.1f %12.6f %12.6f %6d %6d %8d %8d  %s\n",
 			o.Strategy, o.MeanCost, o.MeanMakespanMin, o.Volatility, o.PredMAE,
-			o.Jobs, o.Failed, formatPicks(o.Picks))
+			o.Jobs, o.Failed, o.Clears, o.Transfers, formatPicks(o.Picks))
 	}
 	return sb.String()
 }
@@ -555,13 +577,14 @@ func formatPicks(picks map[string]int) string {
 
 // WriteCSV exports the comparison as strategies.csv, one row per strategy.
 func (r *StrategiesResult) WriteCSV(dir string) error {
-	header := []string{"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "failed"}
+	header := []string{"strategy", "cost", "makespan_min", "volatility", "pred_mae", "jobs", "failed",
+		"clears", "transfers"}
 	names := make([]string, len(r.Outcomes))
 	rows := make([][]float64, len(r.Outcomes))
 	for i, o := range r.Outcomes {
 		names[i] = o.Strategy
 		rows[i] = []float64{o.MeanCost, o.MeanMakespanMin, o.Volatility, o.PredMAE,
-			float64(o.Jobs), float64(o.Failed)}
+			float64(o.Jobs), float64(o.Failed), float64(o.Clears), float64(o.Transfers)}
 	}
 	return writeNamedCSVFile(dir, "strategies.csv", header, names, rows)
 }

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HandlerConfig tunes the server-side chaos middleware — the handler-layer
+// twin of TransportConfig. Where the Transport delays a client's outbound
+// requests, Handler delays the daemon's own request processing, so the
+// injected latency lands in the daemon's http_request_duration_seconds
+// histogram and trips its latency SLOs exactly like a real regression would.
+type HandlerConfig struct {
+	// Seed makes the delay sequence reproducible.
+	Seed int64
+	// MaxLatency, when positive, adds Uniform[0, MaxLatency) before each
+	// request is handled.
+	MaxLatency time.Duration
+	// ErrorRate is the probability in [0, 1] that a request is answered
+	// with a synthesized 500 before reaching the handler.
+	ErrorRate float64
+	// Sleep implements the latency injection; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Handler wraps next with seeded latency and error injection. A zero config
+// returns next unchanged, so daemons can wire it unconditionally.
+func Handler(cfg HandlerConfig, next http.Handler) http.Handler {
+	if cfg.MaxLatency <= 0 && cfg.ErrorRate <= 0 {
+		return next
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	var mu sync.Mutex
+	rnd := newSource(cfg.Seed)
+	draw := func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return rnd()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if cfg.MaxLatency > 0 {
+			if d := time.Duration(draw() * float64(cfg.MaxLatency)); d > 0 {
+				cfg.Sleep(d)
+			}
+		}
+		if cfg.ErrorRate > 0 && draw() < cfg.ErrorRate {
+			http.Error(w, `{"error":"fault: injected server error"}`, http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Environment variables for arming handler chaos without rebuilding or
+// re-flagging a daemon; the telemetry smoke test uses these to force a
+// latency SLO violation on one daemon of a live fleet.
+const (
+	EnvHandlerLatency   = "TYCOON_CHAOS_HANDLER_LATENCY"    // e.g. "200ms"
+	EnvHandlerErrorRate = "TYCOON_CHAOS_HANDLER_ERROR_RATE" // e.g. "0.05"
+	EnvHandlerSeed      = "TYCOON_CHAOS_HANDLER_SEED"       // e.g. "42"
+)
+
+// HandlerFromEnv builds a HandlerConfig from the TYCOON_CHAOS_HANDLER_*
+// variables. ok reports whether any chaos was requested; err carries the
+// first parse failure (callers log and continue, like failpoint arming).
+func HandlerFromEnv() (cfg HandlerConfig, ok bool, err error) {
+	if raw := os.Getenv(EnvHandlerLatency); raw != "" {
+		d, perr := time.ParseDuration(raw)
+		if perr != nil {
+			return cfg, false, perr
+		}
+		cfg.MaxLatency = d
+	}
+	if raw := os.Getenv(EnvHandlerErrorRate); raw != "" {
+		f, perr := strconv.ParseFloat(raw, 64)
+		if perr != nil {
+			return cfg, false, perr
+		}
+		cfg.ErrorRate = f
+	}
+	if raw := os.Getenv(EnvHandlerSeed); raw != "" {
+		n, perr := strconv.ParseInt(raw, 10, 64)
+		if perr != nil {
+			return cfg, false, perr
+		}
+		cfg.Seed = n
+	}
+	return cfg, cfg.MaxLatency > 0 || cfg.ErrorRate > 0, nil
+}

@@ -1,0 +1,67 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tycoongrid/internal/metrics"
+)
+
+// TestMetricsContentNegotiation pins the /metrics format contract: the
+// Prometheus 0.0.4 text format by default, OpenMetrics (exemplars, "# EOF"
+// terminator) when the Accept header asks for it. The telemetry aggregator
+// scrapes with the OpenMetrics Accept header, so both arms are load-bearing.
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("negotiation_requests_total", "test counter")
+	c.Inc()
+	h := reg.Histogram("negotiation_latency_seconds", "test histogram", []float64{0.01, 0.1})
+	h.ObserveExemplar(0.05, "00000000000000000000000000abc123")
+	handler := MetricsHandler(reg)
+
+	t.Run("default is prometheus text", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+			t.Fatalf("Content-Type = %q", got)
+		}
+		body := rec.Body.String()
+		if !strings.Contains(body, "negotiation_requests_total 1") {
+			t.Errorf("missing counter sample:\n%s", body)
+		}
+		if strings.Contains(body, "# EOF") {
+			t.Errorf("prometheus text must not carry the OpenMetrics terminator:\n%s", body)
+		}
+		if strings.Contains(body, "# {") {
+			t.Errorf("prometheus text must not carry exemplars:\n%s", body)
+		}
+	})
+
+	t.Run("openmetrics on accept", func(t *testing.T) {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		req.Header.Set("Accept", metrics.OpenMetricsContentType)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if got := rec.Header().Get("Content-Type"); got != metrics.OpenMetricsContentType {
+			t.Fatalf("Content-Type = %q", got)
+		}
+		body := rec.Body.String()
+		if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+			t.Errorf("missing # EOF terminator:\n%s", body)
+		}
+		if !strings.Contains(body, `trace_id="00000000000000000000000000abc123"`) {
+			t.Errorf("missing bucket exemplar:\n%s", body)
+		}
+	})
+
+	t.Run("accept list containing openmetrics wins", func(t *testing.T) {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		req.Header.Set("Accept", "text/html, application/openmetrics-text; version=1.0.0, */*")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if got := rec.Header().Get("Content-Type"); got != metrics.OpenMetricsContentType {
+			t.Fatalf("Content-Type = %q", got)
+		}
+	})
+}

@@ -93,12 +93,19 @@ func strconv3(code int) string {
 }
 
 // MetricsHandler serves reg (nil means the default registry) in the
-// Prometheus text exposition format.
+// Prometheus text exposition format by default, switching to OpenMetrics —
+// exemplars on histogram buckets, explicit "# EOF" terminator — when the
+// client's Accept header asks for application/openmetrics-text.
 func MetricsHandler(reg *metrics.Registry) http.Handler {
 	if reg == nil {
 		reg = metrics.Default()
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", metrics.OpenMetricsContentType)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
@@ -116,12 +123,28 @@ type MuxOption func(*muxConfig)
 type muxConfig struct {
 	health *Health
 	pprof  bool
+	extra  []extraRoute
+}
+
+type extraRoute struct {
+	pattern string
+	handler http.Handler
 }
 
 // WithHealth supplies the daemon's Health so readiness reflects its real
 // dependency state. Without it the daemon reports ready from boot.
 func WithHealth(h *Health) MuxOption {
 	return func(c *muxConfig) { c.health = h }
+}
+
+// WithHandler mounts an extra route on the observed mux, ahead of the
+// application handler. The telemetry plane uses this to expose
+// /metrics/history and /slo on every daemon without httpapi depending on the
+// telemetry package.
+func WithHandler(pattern string, h http.Handler) MuxOption {
+	return func(c *muxConfig) {
+		c.extra = append(c.extra, extraRoute{pattern: pattern, handler: h})
+	}
 }
 
 // WithPprof mounts net/http/pprof under /debug/pprof/ — behind a flag in
@@ -154,6 +177,9 @@ func ObservedMux(service string, app http.Handler, opts ...MuxOption) http.Handl
 	mux.Handle("GET /healthz/ready", cfg.health.ReadinessHandler())
 	mux.Handle("GET /debug/traces", TraceListHandler(nil))
 	mux.Handle("GET /debug/traces/{id}", TraceGetHandler(nil))
+	for _, e := range cfg.extra {
+		mux.Handle(e.pattern, e.handler)
+	}
 	if cfg.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -23,6 +23,11 @@ var (
 		"Queued bids discarded (host down or rejected by its market).", "shard")
 	mShardClears = metrics.Default().CounterVec("marketplane_shard_clears_total",
 		"Host-market clears executed, by shard.", "shard")
+	mBidApplySeconds = metrics.Default().Histogram("marketplane_bid_apply_seconds",
+		"Wall time to apply one shard's queued bid batch at a clear; exemplars carry the active trace.",
+		[]float64{1e-6, 1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.5})
+	mShardSpotMean = metrics.Default().GaugeVec("marketplane_shard_spot_price_mean",
+		"Mean spot price across the shard's host markets after its last clear.", "shard")
 
 	m2pcPrepares = metrics.Default().Counter("marketplane_2pc_prepares_total",
 		"Cross-shard transfers prepared (debit held at source shard).")
@@ -46,6 +51,7 @@ type shardCounters struct {
 	applied  *metrics.Counter
 	dropped  *metrics.Counter
 	clears   *metrics.Counter
+	spotMean *metrics.Gauge
 }
 
 func countersFor(shard int) shardCounters {
@@ -55,5 +61,6 @@ func countersFor(shard int) shardCounters {
 		applied:  mBidsApplied.With(label),
 		dropped:  mBidsDropped.With(label),
 		clears:   mShardClears.With(label),
+		spotMean: mShardSpotMean.With(label),
 	}
 }

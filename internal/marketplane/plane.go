@@ -12,6 +12,7 @@ import (
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/sim"
+	"tycoongrid/internal/tracing"
 )
 
 // HostMarket is the slice of auction.Market the plane drives. *auction.Market
@@ -226,6 +227,7 @@ func (s *shard) tickInto(p *Plane, now time.Time, skip func(string) bool, out fu
 	sort.SliceStable(q, func(i, j int) bool { return q[i].bidder < q[j].bidder })
 
 	applied, dropped := uint64(0), uint64(0)
+	applyStart := time.Now()
 	for _, b := range q {
 		m := s.markets[b.local]
 		if skip != nil && skip(m.HostID()) {
@@ -238,6 +240,16 @@ func (s *shard) tickInto(p *Plane, now time.Time, skip func(string) bool, out fu
 		}
 		applied++
 	}
+	if len(q) > 0 {
+		// One observation per drained batch; the exemplar ties a slow apply
+		// to the trace that was active when the batch cleared.
+		elapsed := time.Since(applyStart).Seconds()
+		if sp := tracing.Default().Current(); sp.Recording() {
+			mBidApplySeconds.ObserveExemplar(elapsed, sp.Context().TraceID.String())
+		} else {
+			mBidApplySeconds.Observe(elapsed)
+		}
+	}
 	if applied > 0 {
 		s.ctr.applied.Add(applied)
 	}
@@ -246,6 +258,7 @@ func (s *shard) tickInto(p *Plane, now time.Time, skip func(string) bool, out fu
 	}
 
 	clears := uint64(0)
+	spotSum := 0.0
 	for local, m := range s.markets {
 		r := out(local)
 		r.Host = m.HostID()
@@ -253,10 +266,13 @@ func (s *shard) tickInto(p *Plane, now time.Time, skip func(string) bool, out fu
 			continue
 		}
 		r.Charges, r.Refunds = m.Tick(now)
-		p.prices[s.globals[local]].Store(math.Float64bits(m.SpotPrice()))
+		spot := m.SpotPrice()
+		p.prices[s.globals[local]].Store(math.Float64bits(spot))
+		spotSum += spot
 		clears++
 	}
 	if clears > 0 {
 		s.ctr.clears.Add(clears)
+		s.ctr.spotMean.Set(spotSum / float64(clears))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency buckets in seconds, spanning 500 µs to
@@ -33,43 +34,112 @@ func normalizeBounds(bounds []float64) []float64 {
 	return dedup
 }
 
-// Histogram is a fixed-bucket distribution: observations land in the first
-// bucket whose upper bound is >= the value, with an implicit +Inf overflow
-// bucket. Observe is two atomic adds plus a CAS loop on the sum; quantiles
-// are estimated at read time by linear interpolation within the bucket that
-// contains the target rank.
-type Histogram struct {
-	bounds  []float64 // sorted upper bounds, +Inf excluded
-	counts  []atomic.Uint64
+// histShard is one goroutine-affine slice of a histogram. The count and sum
+// words are padded onto their own cache line and the bucket array is a
+// separate allocation per shard, so two goroutines observing concurrently
+// never contend on a word or bounce a line — the CAS loop on the sum, the
+// classic hot spot of a single-word float histogram, runs per shard.
+type histShard struct {
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	_       [48]byte // pad count+sum to one cache line
+	counts  []atomic.Uint64
+}
+
+// Exemplar is one traced observation attached to a histogram bucket: the
+// observed value, the trace that produced it, and when. It is the link from
+// "the p99 spiked" to /debug/traces/{id} showing why.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	At      time.Time `json:"at"`
+}
+
+// Histogram is a fixed-bucket distribution: observations land in the first
+// bucket whose upper bound is >= the value, with an implicit +Inf overflow
+// bucket. Observation is sharded exactly like Counter — the observing
+// goroutine picks a shard from its stack address and pays two uncontended
+// atomic adds plus a CAS on that shard's sum — and reads merge all shards at
+// scrape time. Quantiles are estimated at read time by linear interpolation
+// within the bucket that contains the target rank.
+//
+// Each bucket additionally holds the most recent exemplar recorded against
+// it (one atomic pointer store on the ObserveExemplar path, nothing on the
+// plain Observe path), exposed in the OpenMetrics exposition.
+type Histogram struct {
+	bounds    []float64 // sorted upper bounds, +Inf excluded
+	shards    []histShard
+	exemplars []atomic.Pointer[Exemplar] // per bucket, last writer wins
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+	h := &Histogram{
+		bounds:    bounds,
+		shards:    make([]histShard, counterShards),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Linear scan: bucket lists are short (≤ ~15) and the scan is branch-
-	// predictable, beating binary search at this size.
+// bucketIndex locates the bucket for v. Linear scan: bucket lists are short
+// (≤ ~15) and the scan is branch-predictable, beating binary search at this
+// size.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	addFloatBits(&h.sumBits, v)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	s := &h.shards[shardIndex()]
+	s.counts[h.bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	addFloatBits(&s.sumBits, v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty, attaches
+// it as the bucket's exemplar. Hot paths call this with the active trace id
+// (empty when unsampled). Re-observations from the trace already holding the
+// bucket's exemplar are deduplicated — the exemplar's job is to link the
+// bucket to a distinct trace, so the steady-state cost inside one traced
+// request is a single pointer load, with the store (and its timestamp +
+// allocation) paid only when a new trace claims the bucket.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucketIndex(v)
+	s := &h.shards[shardIndex()]
+	s.counts[i].Add(1)
+	s.count.Add(1)
+	addFloatBits(&s.sumBits, v)
+	if traceID != "" {
+		if cur := h.exemplars[i].Load(); cur == nil || cur.TraceID != traceID {
+			h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, At: time.Now()})
+		}
+	}
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+func (h *Histogram) Count() uint64 {
+	var sum uint64
+	for i := range h.shards {
+		sum += h.shards[i].count.Load()
+	}
+	return sum
+}
 
 // Sum returns the sum of observed values.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+func (h *Histogram) Sum() float64 {
+	var sum float64
+	for i := range h.shards {
+		sum += math.Float64frombits(h.shards[i].sumBits.Load())
+	}
+	return sum
+}
 
 // Bucket is one (upper bound, cumulative count) pair of a histogram
 // snapshot; the final bucket's bound is +Inf.
@@ -79,19 +149,41 @@ type Bucket struct {
 }
 
 // Buckets returns the cumulative bucket counts, ending with the +Inf
-// bucket. The counts are read bucket-by-bucket without a global lock, so a
+// bucket. The counts are read shard-by-shard without a global lock, so a
 // snapshot taken during concurrent observation may be off by in-flight
 // observations — fine for monitoring, by design.
 func (h *Histogram) Buckets() []Bucket {
-	out := make([]Bucket, len(h.counts))
+	n := len(h.bounds) + 1
+	out := make([]Bucket, n)
 	var cum uint64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
+	for i := 0; i < n; i++ {
+		for s := range h.shards {
+			cum += h.shards[s].counts[i].Load()
+		}
 		bound := math.Inf(1)
 		if i < len(h.bounds) {
 			bound = h.bounds[i]
 		}
 		out[i] = Bucket{UpperBound: bound, Cumulative: cum}
+	}
+	return out
+}
+
+// BucketExemplar returns the most recent exemplar recorded against bucket i
+// (indices align with Buckets), or nil when none was ever attached.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// Exemplars returns every bucket's latest exemplar, nil entries included,
+// indices aligned with Buckets.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
 	}
 	return out
 }

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// mutexHistogram is the pre-refactor histogram design kept as a benchmark
+// baseline: one mutex guarding the bucket counts and the running sum. Every
+// concurrent observer serializes on the same lock, which is exactly the
+// contention BenchmarkHistogramParallel quantifies against the sharded
+// atomic layout that replaced it.
+type mutexHistogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+func newMutexHistogram(bounds []float64) *mutexHistogram {
+	return &mutexHistogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *mutexHistogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// BenchmarkHistogramParallel hammers one histogram from every P, comparing
+// the sharded atomic layout (what Histogram ships) against the mutex
+// baseline it replaced. The sharded variant's per-goroutine shard selection
+// plus cache-line padding is what keeps the parallel numbers near the serial
+// cost; the mutex baseline collapses onto one lock and scales inversely
+// with GOMAXPROCS.
+func BenchmarkHistogramParallel(b *testing.B) {
+	b.Run("Sharded", func(b *testing.B) {
+		h := NewRegistry().Histogram("bench_sharded_seconds", "benchmark histogram", nil)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Observe(0.042)
+			}
+		})
+	})
+	b.Run("MutexBaseline", func(b *testing.B) {
+		h := newMutexHistogram(normalizeBounds(DefBuckets))
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Observe(0.042)
+			}
+		})
+	})
+}
+
+// BenchmarkHistogramObserveExemplarParallel is the same hammer with the
+// exemplar-carrying observation, the shape the hot paths use when a sampled
+// trace is current: one extra pointer store per observation.
+func BenchmarkHistogramObserveExemplarParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_exemplar_seconds", "benchmark histogram", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.ObserveExemplar(0.042, "00000000000000000000000000abc123")
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetrics covers the OpenMetrics exposition against the
+// Prometheus one: _total stripped from counter metadata but kept on samples,
+// exemplars rendered on histogram buckets, and the mandatory # EOF.
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grid_jobs_total", "Jobs.").Add(3)
+	r.Gauge("grid_price", "Spot price.").Set(0.25)
+	h := r.Histogram("grid_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "00000000000000000000000000000abc")
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+
+	for _, want := range []string{
+		"# TYPE grid_jobs counter\n",
+		"grid_jobs_total 3\n",
+		"# TYPE grid_price gauge\n",
+		"grid_price 0.25\n",
+		"# TYPE grid_latency_seconds histogram\n",
+		`grid_latency_seconds_bucket{le="0.1"} 1`,
+		`grid_latency_seconds_bucket{le="1"} 2 # {trace_id="00000000000000000000000000000abc"} 0.5 `,
+		"grid_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output must end with # EOF, got tail %q", out[max(0, len(out)-30):])
+	}
+	if strings.Contains(out, "# TYPE grid_jobs_total") {
+		t.Error("counter metadata must drop the _total suffix")
+	}
+
+	// The Prometheus rendering of the same registry keeps the full counter
+	// name in metadata, shows no exemplars and has no EOF marker.
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	p := prom.String()
+	for _, want := range []string{
+		"# TYPE grid_jobs_total counter\n",
+		"grid_jobs_total 3\n",
+		`grid_latency_seconds_bucket{le="1"} 2` + "\n",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, p)
+		}
+	}
+	if strings.Contains(p, "# EOF") || strings.Contains(p, "trace_id") {
+		t.Errorf("Prometheus output must not carry OpenMetrics syntax:\n%s", p)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewRegistry().Histogram("x_seconds", "probe", []float64{1, 10})
+	if got := h.Exemplars(); len(got) != 3 {
+		t.Fatalf("want one exemplar slot per bucket incl. +Inf, got %d", len(got))
+	}
+	h.ObserveExemplar(0.5, "aa")
+	h.ObserveExemplar(0.7, "bb") // same bucket: last writer wins
+	h.ObserveExemplar(100, "cc") // overflow bucket
+	h.ObserveExemplar(5, "")     // no trace: observation counted, no exemplar
+	if ex := h.BucketExemplar(0); ex == nil || ex.TraceID != "bb" || ex.Value != 0.7 {
+		t.Fatalf("bucket 0 exemplar = %+v, want trace bb value 0.7", ex)
+	}
+	if ex := h.BucketExemplar(1); ex != nil {
+		t.Fatalf("bucket 1 should have no exemplar (empty trace id), got %+v", ex)
+	}
+	if ex := h.BucketExemplar(2); ex == nil || ex.TraceID != "cc" {
+		t.Fatalf("overflow bucket exemplar = %+v, want trace cc", ex)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.BucketExemplar(99) != nil || h.BucketExemplar(-1) != nil {
+		t.Fatal("out-of-range exemplar lookup must return nil")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "depth")
+	h := r.Histogram("lat_seconds", "lat", []float64{1})
+	c.Add(5)
+	g.Set(2)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	d := r.Snapshot().Delta(prev)
+	if d.Counters[0].Value != 7 {
+		t.Fatalf("counter delta = %d, want 7", d.Counters[0].Value)
+	}
+	if d.Gauges[0].Value != 9 {
+		t.Fatalf("gauge must be copied absolute, got %g", d.Gauges[0].Value)
+	}
+	if d.Histograms[0].Count != 2 || d.Histograms[0].Sum != 1 {
+		t.Fatalf("histogram delta = count %d sum %g, want 2/1", d.Histograms[0].Count, d.Histograms[0].Sum)
+	}
+
+	// Counter regression (daemon restart): delta resets to the new absolute.
+	r2 := NewRegistry()
+	c2 := r2.Counter("ops_total", "ops")
+	c2.Add(3)
+	d2 := r2.Snapshot().Delta(prev) // prev had ops_total=5
+	if d2.Counters[0].Value != 3 {
+		t.Fatalf("restart delta = %d, want absolute 3", d2.Counters[0].Value)
+	}
+}

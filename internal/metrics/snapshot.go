@@ -77,6 +77,48 @@ func labelMap(names, values []string) map[string]string {
 	return m
 }
 
+// Delta returns the change from prev to s: counters and histogram
+// count/sum become differences (a child absent from prev counts from zero),
+// gauges and histogram quantiles are copied from s as-is, since they are
+// already instantaneous. A counter that went backwards — the process
+// restarted between snapshots — resets its delta to the new absolute value,
+// so a scraper never reports a negative rate across a daemon restart.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	prevCounters := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevCounters[SampleName(c.Name, c.Labels)] = c.Value
+	}
+	type histPrev struct {
+		count uint64
+		sum   float64
+	}
+	prevHists := make(map[string]histPrev, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevHists[SampleName(h.Name, h.Labels)] = histPrev{count: h.Count, sum: h.Sum}
+	}
+	out := Snapshot{
+		Counters:   make([]CounterSample, len(s.Counters)),
+		Gauges:     append([]GaugeSample(nil), s.Gauges...),
+		Histograms: make([]HistogramSample, len(s.Histograms)),
+	}
+	for i, c := range s.Counters {
+		d := c
+		if was, ok := prevCounters[SampleName(c.Name, c.Labels)]; ok && was <= c.Value {
+			d.Value = c.Value - was
+		}
+		out.Counters[i] = d
+	}
+	for i, h := range s.Histograms {
+		d := h
+		if was, ok := prevHists[SampleName(h.Name, h.Labels)]; ok && was.count <= h.Count {
+			d.Count = h.Count - was.count
+			d.Sum = h.Sum - was.sum
+		}
+		out.Histograms[i] = d
+	}
+	return out
+}
+
 // Counter returns the value of the named counter child (labels in family
 // order), or 0 when absent — convenient for tests and health summaries.
 func (r *Registry) CounterValue(name string, labelValues ...string) uint64 {
@@ -124,7 +166,12 @@ func (s Snapshot) WriteText(w io.Writer) {
 	}
 }
 
-func sampleName(name string, labels map[string]string) string {
+func sampleName(name string, labels map[string]string) string { return SampleName(name, labels) }
+
+// SampleName renders the canonical identity of one sample — `name{k="v",...}`
+// with label keys sorted — the key the telemetry plane uses to address a
+// series across snapshots, scrapes and daemons.
+func SampleName(name string, labels map[string]string) string {
 	if len(labels) == 0 {
 		return name
 	}

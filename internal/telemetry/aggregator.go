@@ -1,0 +1,414 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/metrics"
+	"tycoongrid/internal/tsdb"
+)
+
+// Peer names one scrape target.
+type Peer struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"url"`
+}
+
+// PeerStatus is a peer's health as seen from the aggregator.
+type PeerStatus struct {
+	Peer
+	Up         bool      `json:"up"`
+	LastScrape time.Time `json:"last_scrape,omitempty"`
+	LastError  string    `json:"last_error,omitempty"`
+	Samples    int       `json:"samples"`
+}
+
+// FleetExemplar is one exemplar surfaced from a peer scrape: a concrete
+// traced request pinned to the latency family it landed in, so "the fleet
+// p99 moved" links to "this exact trace is why".
+type FleetExemplar struct {
+	Peer    string    `json:"peer"`
+	Family  string    `json:"family"`
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	At      time.Time `json:"at"`
+}
+
+// maxFleetExemplars bounds the aggregator's exemplar ring.
+const maxFleetExemplars = 64
+
+// Aggregator scrapes a fleet of peers' /metrics and rebuilds the derived
+// series — the same :rate/:p99/:mean convention the per-daemon collector
+// uses — in its own tsdb, prefixed "<peer>/". Scrapes ride the retrying,
+// circuit-broken httpapi transport, so one dead daemon costs one fast
+// breaker failure per sweep, not a hung fleet view.
+type Aggregator struct {
+	peers   []Peer
+	clients []*httpapi.TelemetryClient
+	db      *tsdb.DB
+	now     func() time.Time
+
+	mu        sync.Mutex
+	prev      map[string]map[string]float64 // peer -> sample key -> value
+	prevAt    map[string]time.Time
+	status    map[string]*PeerStatus
+	exemplars []FleetExemplar
+
+	mScrapes  *metrics.CounterVec
+	mErrors   *metrics.CounterVec
+	mDuration *metrics.Histogram
+	mUp       *metrics.GaugeVec
+}
+
+// AggregatorConfig wires an Aggregator.
+type AggregatorConfig struct {
+	Peers []Peer
+	// Capacity per derived series; 0 means tsdb.DefaultCapacity.
+	Capacity int
+	// Client is the scrape transport; nil builds one per peer with the
+	// default timeout.
+	Client *http.Client
+	// Registry receives the aggregator's own scrape metrics; nil means the
+	// process default.
+	Registry *metrics.Registry
+	// Now stamps scrapes; nil means time.Now.
+	Now func() time.Time
+}
+
+// NewAggregator builds an aggregator over cfg.Peers.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = tsdb.DefaultCapacity
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	a := &Aggregator{
+		peers:  append([]Peer(nil), cfg.Peers...),
+		db:     tsdb.NewDB(capacity),
+		now:    now,
+		prev:   map[string]map[string]float64{},
+		prevAt: map[string]time.Time{},
+		status: map[string]*PeerStatus{},
+		mScrapes: reg.CounterVec("telemetry_scrapes_total",
+			"Peer scrapes attempted by the aggregator.", "peer"),
+		mErrors: reg.CounterVec("telemetry_scrape_errors_total",
+			"Peer scrapes that failed.", "peer"),
+		mDuration: reg.Histogram("telemetry_scrape_seconds",
+			"Wall time of one full fleet sweep.", nil),
+		mUp: reg.GaugeVec("telemetry_peer_up",
+			"1 when the last scrape of the peer succeeded.", "peer"),
+	}
+	for _, p := range a.peers {
+		a.clients = append(a.clients, httpapi.NewTelemetryClient(p.BaseURL, cfg.Client))
+		a.status[p.Name] = &PeerStatus{Peer: p}
+	}
+	return a
+}
+
+// DB exposes the fleet series store (serve it with HistoryHandler).
+func (a *Aggregator) DB() *tsdb.DB { return a.db }
+
+// Peers lists the configured targets.
+func (a *Aggregator) Peers() []Peer { return append([]Peer(nil), a.peers...) }
+
+// ScrapeOnce sweeps every peer concurrently and folds the results into the
+// fleet tsdb. Returns the number of peers that answered.
+func (a *Aggregator) ScrapeOnce(ctx context.Context) int {
+	start := a.now()
+	type result struct {
+		idx  int
+		text []byte
+		err  error
+	}
+	results := make([]result, len(a.peers))
+	var wg sync.WaitGroup
+	for i := range a.peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			text, err := a.clients[i].ScrapeMetrics(ctx)
+			results[i] = result{idx: i, text: text, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	at := a.now()
+	up := 0
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, res := range results {
+		peer := a.peers[res.idx]
+		st := a.status[peer.Name]
+		a.mScrapes.With(peer.Name).Inc()
+		if res.err != nil {
+			a.mErrors.With(peer.Name).Inc()
+			a.mUp.With(peer.Name).Set(0)
+			st.Up = false
+			st.LastError = res.err.Error()
+			// A dead peer's delta baseline is poison: when it comes back its
+			// counters restart, and rating across the outage would spike.
+			delete(a.prev, peer.Name)
+			delete(a.prevAt, peer.Name)
+			continue
+		}
+		up++
+		a.mUp.With(peer.Name).Set(1)
+		st.Up = true
+		st.LastError = ""
+		st.LastScrape = at
+		st.Samples = a.ingestLocked(peer.Name, ParseExposition(res.text), at)
+	}
+	a.mDuration.Observe(a.now().Sub(start).Seconds())
+	return up
+}
+
+// Run sweeps every interval until stop closes.
+func (a *Aggregator) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultScrapeInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	a.ScrapeOnce(context.Background())
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			a.ScrapeOnce(context.Background())
+		}
+	}
+}
+
+// histAccum folds one histogram family's component samples back together.
+type histAccum struct {
+	buckets map[float64]float64 // le -> cumulative count
+	sum     float64
+	count   float64
+	hasSum  bool
+}
+
+// ingestLocked derives fleet series from one parsed scrape. Caller holds mu.
+func (a *Aggregator) ingestLocked(peer string, sc *Scrape, at time.Time) int {
+	tn := at.UnixNano()
+	cur := make(map[string]float64, len(sc.Samples))
+	hists := map[string]*histAccum{}
+	appended := 0
+
+	prev := a.prev[peer]
+	prevAt, seeded := a.prevAt[peer]
+	dt := 0.0
+	if seeded {
+		dt = at.Sub(prevAt).Seconds()
+	}
+
+	for i := range sc.Samples {
+		s := &sc.Samples[i]
+		cur[s.Key] = s.Value
+		switch sc.KindOf(s.Name) {
+		case KindGauge:
+			if a.db.Series(peer+"/"+s.Key).AppendNanos(tn, s.Value) {
+				appended++
+			}
+		case KindCounter:
+			if seeded && dt > 0 {
+				if pv, ok := prev[s.Key]; ok && s.Value >= pv {
+					if a.db.Series(peer+"/"+s.Key+tsdb.SuffixRate).AppendNanos(tn, (s.Value-pv)/dt) {
+						appended++
+					}
+				}
+			}
+		case KindHistogram:
+			a.foldHistogram(hists, s, peer, at)
+		}
+	}
+
+	if seeded && dt > 0 {
+		// Histogram families: delta the cumulative buckets against the
+		// previous scrape and derive rate/mean/p99 over just this interval.
+		famNames := make([]string, 0, len(hists))
+		for fam := range hists {
+			famNames = append(famNames, fam)
+		}
+		sort.Strings(famNames)
+		for _, fam := range famNames {
+			h := hists[fam]
+			base := peer + "/" + fam
+			pc, okC := prev[fam+"\x00count"]
+			ps, okS := prev[fam+"\x00sum"]
+			if !okC || !okS || h.count < pc {
+				continue // family appeared, or the peer restarted
+			}
+			dcount := h.count - pc
+			if a.db.Series(base+tsdb.SuffixRate).AppendNanos(tn, dcount/dt) {
+				appended++
+			}
+			if dcount > 0 {
+				if a.db.Series(base+tsdb.SuffixMean).AppendNanos(tn, (h.sum-ps)/dcount) {
+					appended++
+				}
+				if p99, ok := bucketQuantile(h, prev, fam, 0.99); ok {
+					if a.db.Series(base+tsdb.SuffixP99).AppendNanos(tn, p99) {
+						appended++
+					}
+				}
+			}
+		}
+	}
+
+	// Stash histogram components in the flat prev map for the next delta.
+	for fam, h := range hists {
+		cur[fam+"\x00count"] = h.count
+		cur[fam+"\x00sum"] = h.sum
+		for le, v := range h.buckets {
+			cur[fam+"\x00le\x00"+strconv.FormatFloat(le, 'g', -1, 64)] = v
+		}
+	}
+	a.prev[peer] = cur
+	a.prevAt[peer] = at
+	return appended
+}
+
+// foldHistogram routes one _bucket/_sum/_count sample into its family
+// accumulator, capturing bucket exemplars into the fleet ring.
+func (a *Aggregator) foldHistogram(hists map[string]*histAccum, s *Sample, peer string, at time.Time) {
+	var fam string
+	switch {
+	case len(s.Name) > 7 && s.Name[len(s.Name)-7:] == "_bucket":
+		fam = withoutLabel(s.Name[:len(s.Name)-7], s.Labels, "le")
+		h := histFor(hists, fam)
+		le := math.Inf(1)
+		if raw := s.Get("le"); raw != "" && raw != "+Inf" {
+			if v, err := strconv.ParseFloat(raw, 64); err == nil {
+				le = v
+			}
+		}
+		h.buckets[le] = s.Value
+		if s.Exemplar != nil {
+			// The exposition re-serves the last exemplar until a new one
+			// lands; only ring a trace the fleet view hasn't seen yet.
+			dup := false
+			for i := range a.exemplars {
+				e := &a.exemplars[i]
+				if e.Peer == peer && e.Family == fam && e.TraceID == s.Exemplar.TraceID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				a.exemplars = append(a.exemplars, FleetExemplar{
+					Peer:    peer,
+					Family:  fam,
+					TraceID: s.Exemplar.TraceID,
+					Value:   s.Exemplar.Value,
+					At:      at,
+				})
+				if len(a.exemplars) > maxFleetExemplars {
+					a.exemplars = a.exemplars[len(a.exemplars)-maxFleetExemplars:]
+				}
+			}
+		}
+	case len(s.Name) > 4 && s.Name[len(s.Name)-4:] == "_sum":
+		h := histFor(hists, sampleKey(s.Name[:len(s.Name)-4], s.Labels))
+		h.sum = s.Value
+		h.hasSum = true
+	case len(s.Name) > 6 && s.Name[len(s.Name)-6:] == "_count":
+		h := histFor(hists, sampleKey(s.Name[:len(s.Name)-6], s.Labels))
+		h.count = s.Value
+	}
+}
+
+func histFor(hists map[string]*histAccum, fam string) *histAccum {
+	h, ok := hists[fam]
+	if !ok {
+		h = &histAccum{buckets: map[float64]float64{}}
+		hists[fam] = h
+	}
+	return h
+}
+
+// bucketQuantile interpolates a quantile from the interval's bucket deltas,
+// mirroring metrics.Histogram.Quantile so the fleet p99 and a daemon's own
+// p99 agree on identical data.
+func bucketQuantile(h *histAccum, prev map[string]float64, fam string, q float64) (float64, bool) {
+	les := make([]float64, 0, len(h.buckets))
+	for le := range h.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	if len(les) == 0 {
+		return 0, false
+	}
+	deltas := make([]float64, len(les))
+	total := 0.0
+	prevCum := 0.0
+	for i, le := range les {
+		pv := prev[fam+"\x00le\x00"+strconv.FormatFloat(le, 'g', -1, 64)]
+		d := (h.buckets[le] - pv) - prevCum
+		prevCum = h.buckets[le] - pv
+		if d < 0 {
+			return 0, false // restart mid-family
+		}
+		deltas[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	cum := 0.0
+	for i, d := range deltas {
+		cum += d
+		if cum < rank {
+			continue
+		}
+		if math.IsInf(les[i], 1) {
+			if i == 0 {
+				return 0, false
+			}
+			return les[i-1], true
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = les[i-1]
+		}
+		if d == 0 {
+			return les[i], true
+		}
+		frac := (rank - (cum - d)) / d
+		return lower + (les[i]-lower)*frac, true
+	}
+	return les[len(les)-1], true
+}
+
+// Exemplars returns the newest fleet exemplars, most recent last.
+func (a *Aggregator) Exemplars() []FleetExemplar {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]FleetExemplar(nil), a.exemplars...)
+}
+
+// Status returns per-peer scrape health, sorted by peer name.
+func (a *Aggregator) Status() []PeerStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PeerStatus, 0, len(a.status))
+	for _, st := range a.status {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

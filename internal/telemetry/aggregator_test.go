@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/metrics"
+	"tycoongrid/internal/tsdb"
+)
+
+// peerServer serves a synthetic exposition whose counters advance per
+// scrape, like a live daemon would between sweeps.
+func peerServer(scrapes *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := scrapes.Add(1)
+		fmt.Fprintf(w, "# TYPE clears_total counter\n")
+		fmt.Fprintf(w, "clears_total %d\n", n*100) // +100 per scrape
+		fmt.Fprintf(w, "# TYPE spot_price gauge\n")
+		fmt.Fprintf(w, "spot_price %g\n", 1.5)
+		fmt.Fprintf(w, "# TYPE lat_seconds histogram\n")
+		// Per scrape: +8 obs in (0, .01], +2 in (.01, .1]; p99 lands in the
+		// second bucket.
+		fmt.Fprintf(w, "lat_seconds_bucket{le=\"0.01\"} %d # {trace_id=\"trace%d\"} 0.005\n", n*8, n)
+		fmt.Fprintf(w, "lat_seconds_bucket{le=\"0.1\"} %d\n", n*10)
+		fmt.Fprintf(w, "lat_seconds_bucket{le=\"+Inf\"} %d\n", n*10)
+		fmt.Fprintf(w, "lat_seconds_sum %g\n", float64(n)*0.1)
+		fmt.Fprintf(w, "lat_seconds_count %d\n", n*10)
+	}))
+}
+
+func TestAggregatorDerivesFleetSeries(t *testing.T) {
+	var scrapesA, scrapesB atomic.Int64
+	srvA := peerServer(&scrapesA)
+	defer srvA.Close()
+	srvB := peerServer(&scrapesB)
+	defer srvB.Close()
+
+	clock := &stepClock{at: time.Unix(7000, 0), step: 10 * time.Second}
+	agg := NewAggregator(AggregatorConfig{
+		Peers: []Peer{
+			{Name: "auction-a", BaseURL: srvA.URL},
+			{Name: "auction-b", BaseURL: srvB.URL},
+		},
+		Registry: metrics.NewRegistry(),
+		Now:      clock.now,
+	})
+
+	if up := agg.ScrapeOnce(context.Background()); up != 2 {
+		t.Fatalf("first sweep up = %d, want 2", up)
+	}
+	if up := agg.ScrapeOnce(context.Background()); up != 2 {
+		t.Fatalf("second sweep up = %d, want 2", up)
+	}
+
+	// Counter rate: +100 clears between the two sweeps' ingest stamps. The
+	// step clock advances on every now() call (three per sweep), so the
+	// inter-sweep dt is 30s -> 100/30 per second.
+	rate, ok := agg.DB().Lookup("auction-a/clears_total" + tsdb.SuffixRate)
+	if !ok {
+		t.Fatalf("missing clears rate; series: %v", agg.DB().Names())
+	}
+	if last, _ := rate.Latest(); last.V < 3.3 || last.V > 3.4 {
+		t.Fatalf("clears rate = %g, want ~3.33/s", last.V)
+	}
+
+	// Gauge copied through for both peers.
+	for _, peer := range []string{"auction-a", "auction-b"} {
+		g, ok := agg.DB().Lookup(peer + "/spot_price")
+		if !ok {
+			t.Fatalf("missing %s spot price", peer)
+		}
+		if last, _ := g.Latest(); last.V != 1.5 {
+			t.Fatalf("%s spot = %g", peer, last.V)
+		}
+	}
+
+	// Histogram family: rate, mean and interpolated p99 from bucket deltas.
+	hrate, ok := agg.DB().Lookup("auction-a/lat_seconds" + tsdb.SuffixRate)
+	if !ok {
+		t.Fatal("missing histogram rate")
+	}
+	if last, _ := hrate.Latest(); last.V < 0.33 || last.V > 0.34 {
+		t.Fatalf("histogram rate = %g, want ~0.33/s (10 obs / 30s)", last.V)
+	}
+	mean, ok := agg.DB().Lookup("auction-a/lat_seconds" + tsdb.SuffixMean)
+	if !ok {
+		t.Fatal("missing histogram mean")
+	}
+	if last, _ := mean.Latest(); last.V < 0.0099 || last.V > 0.0101 {
+		t.Fatalf("histogram mean = %g, want 0.01", last.V)
+	}
+	p99, ok := agg.DB().Lookup("auction-a/lat_seconds" + tsdb.SuffixP99)
+	if !ok {
+		t.Fatal("missing histogram p99")
+	}
+	// Deltas per interval: 8 in (0,.01], 2 in (.01,.1]; rank 9.9 of 10 ->
+	// interpolated inside the second bucket: .01 + (.1-.01)*(1.9/2) = .0955.
+	if last, _ := p99.Latest(); last.V < 0.095 || last.V > 0.096 {
+		t.Fatalf("fleet p99 = %g, want ~0.0955", last.V)
+	}
+
+	// Exemplars surfaced with peer attribution, deduped by trace id.
+	exs := agg.Exemplars()
+	if len(exs) == 0 {
+		t.Fatal("no fleet exemplars")
+	}
+	seen := map[string]bool{}
+	for _, e := range exs {
+		if e.Peer == "" || e.TraceID == "" {
+			t.Fatalf("malformed exemplar %+v", e)
+		}
+		key := e.Peer + "/" + e.TraceID
+		if seen[key] {
+			t.Fatalf("duplicate exemplar %s", key)
+		}
+		seen[key] = true
+	}
+
+	// Rollup report includes both peers up.
+	rep := agg.Report()
+	if len(rep.Peers) != 2 || !rep.Peers[0].Up || !rep.Peers[1].Up {
+		t.Fatalf("report peers = %+v", rep.Peers)
+	}
+	if len(rep.Series) == 0 {
+		t.Fatal("report lists no series")
+	}
+}
+
+// TestAggregatorPeerDownAndRecovery kills a peer mid-flight: the sweep must
+// mark it down without poisoning the other peer's series, and when the peer
+// returns (counters reset: restart) the rate baseline must re-seed instead
+// of producing a negative or spiked rate.
+func TestAggregatorPeerDownAndRecovery(t *testing.T) {
+	var scrapes atomic.Int64
+	live := peerServer(&scrapes)
+	defer live.Close()
+
+	var deadURL string
+	{
+		dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		deadURL = dead.URL
+		dead.Close() // connection refused from here on
+	}
+
+	clock := &stepClock{at: time.Unix(8000, 0), step: 5 * time.Second}
+	reg := metrics.NewRegistry()
+	agg := NewAggregator(AggregatorConfig{
+		Peers: []Peer{
+			{Name: "live", BaseURL: live.URL},
+			{Name: "dead", BaseURL: deadURL},
+		},
+		Registry: reg,
+		Now:      clock.now,
+		Client:   &http.Client{Timeout: 2 * time.Second},
+	})
+
+	if up := agg.ScrapeOnce(context.Background()); up != 1 {
+		t.Fatalf("up = %d, want 1", up)
+	}
+	agg.ScrapeOnce(context.Background())
+
+	sts := agg.Status()
+	if sts[0].Name != "dead" || sts[0].Up || sts[0].LastError == "" {
+		t.Fatalf("dead peer status = %+v", sts[0])
+	}
+	if sts[1].Name != "live" || !sts[1].Up {
+		t.Fatalf("live peer status = %+v", sts[1])
+	}
+	if _, ok := agg.DB().Lookup("live/clears_total" + tsdb.SuffixRate); !ok {
+		t.Fatal("live peer series missing despite dead neighbour")
+	}
+	if reg.CounterValue("telemetry_scrape_errors_total", "dead") == 0 {
+		t.Fatal("scrape errors not counted")
+	}
+
+	// "Restart" the live peer: counters fall back to small values. The next
+	// two sweeps re-seed; no negative-rate point may ever land.
+	scrapes.Store(0)
+	agg.ScrapeOnce(context.Background())
+	agg.ScrapeOnce(context.Background())
+	rate, _ := agg.DB().Lookup("live/clears_total" + tsdb.SuffixRate)
+	for _, p := range rate.Since(0) {
+		if p.V < 0 {
+			t.Fatalf("negative rate %g after counter reset", p.V)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"tycoongrid/internal/tsdb"
+)
+
+// History endpoint limits: bounded output no matter what the query asks.
+const (
+	maxHistoryBuckets = 1000
+	maxHistorySeries  = 64
+	maxHistoryWindow  = 24 * time.Hour
+	defaultBuckets    = 60
+	defaultWindow     = 5 * time.Minute
+)
+
+// historyQuery is a validated /metrics/history request.
+type historyQuery struct {
+	series  string // empty = list series names only
+	window  time.Duration
+	buckets int
+	raw     bool
+}
+
+// parseHistoryQuery validates the query string. Errors are user errors
+// (HTTP 400); the handler never panics on hostile input — FuzzHistoryQuery
+// enforces exactly that.
+func parseHistoryQuery(q url.Values) (historyQuery, error) {
+	out := historyQuery{window: defaultWindow, buckets: defaultBuckets}
+	out.series = q.Get("series")
+	if w := q.Get("window"); w != "" {
+		d, err := time.ParseDuration(w)
+		if err != nil {
+			return out, fmt.Errorf("bad window %q: %v", w, err)
+		}
+		if d <= 0 {
+			return out, fmt.Errorf("window must be positive, got %q", w)
+		}
+		if d > maxHistoryWindow {
+			d = maxHistoryWindow
+		}
+		out.window = d
+	}
+	if b := q.Get("buckets"); b != "" {
+		var n int
+		if _, err := fmt.Sscanf(b, "%d", &n); err != nil || n < 1 {
+			return out, fmt.Errorf("bad buckets %q", b)
+		}
+		if n > maxHistoryBuckets {
+			n = maxHistoryBuckets
+		}
+		out.buckets = n
+	}
+	switch q.Get("raw") {
+	case "", "0", "false":
+	case "1", "true":
+		out.raw = true
+	default:
+		return out, fmt.Errorf("bad raw %q", q.Get("raw"))
+	}
+	return out, nil
+}
+
+// historySeries is one series' slice of the response.
+type historySeries struct {
+	Name    string            `json:"name"`
+	Points  []tsdb.Point      `json:"points,omitempty"`
+	Buckets []tsdb.BucketStat `json:"buckets,omitempty"`
+	Dropped uint64            `json:"dropped,omitempty"`
+}
+
+// historyResponse is the /metrics/history wire shape.
+type historyResponse struct {
+	WindowSeconds float64         `json:"window_seconds,omitempty"`
+	Names         []string        `json:"names,omitempty"`
+	Series        []historySeries `json:"series,omitempty"`
+	Truncated     bool            `json:"truncated,omitempty"`
+}
+
+// HistoryHandler serves windowed series history from db as JSON.
+//
+//	GET /metrics/history                          -> {"names":[...]}
+//	GET /metrics/history?series=N&window=5m       -> downsampled buckets
+//	GET /metrics/history?series=N&raw=1           -> raw points
+//
+// series accepts an exact name or a trailing-'*' prefix pattern; windows are
+// tail-aligned at each series' newest point (tsdb.Series.Window semantics),
+// so a quiet series shows its last activity instead of an empty frame.
+func HistoryHandler(db *tsdb.DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := parseHistoryQuery(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+
+		if q.series == "" {
+			_ = enc.Encode(historyResponse{Names: db.Names()})
+			return
+		}
+		names := db.Match(q.series)
+		sort.Strings(names)
+		resp := historyResponse{WindowSeconds: q.window.Seconds()}
+		if len(names) > maxHistorySeries {
+			names = names[:maxHistorySeries]
+			resp.Truncated = true
+		}
+		for _, name := range names {
+			s, ok := db.Lookup(name)
+			if !ok {
+				continue
+			}
+			pts := s.Window(q.window)
+			hs := historySeries{Name: name, Dropped: s.Dropped()}
+			if q.raw {
+				hs.Points = pts
+			} else {
+				hs.Buckets = tsdb.Downsample(pts, q.buckets)
+			}
+			resp.Series = append(resp.Series, hs)
+		}
+		_ = enc.Encode(resp)
+	})
+}

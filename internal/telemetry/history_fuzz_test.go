@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/tsdb"
+)
+
+// FuzzHistoryQuery hammers the /metrics/history query parser and handler
+// with arbitrary query strings: the handler must never panic, and must
+// answer either HTTP 400 or valid JSON — nothing in between.
+func FuzzHistoryQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"series=price",
+		"series=price&window=5m&buckets=60",
+		"series=price&raw=1",
+		"series=*&window=24h",
+		"series=http_request_duration_seconds{*:p99&window=1h&buckets=1000",
+		"window=banana",
+		"buckets=-1",
+		"buckets=99999999999999999999",
+		"series=price&window=9999999h",
+		"raw=maybe",
+		"series=%00%ff&window=1ns",
+		"series=a&series=b&window=1s&window=2s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	db := tsdb.NewDB(64)
+	s := db.Series("price")
+	base := time.Unix(1000, 0)
+	for i := 0; i < 50; i++ {
+		s.AppendNanos(base.Add(time.Duration(i)*time.Second).UnixNano(), float64(i))
+	}
+	h := HistoryHandler(db)
+
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		req := httptest.NewRequest("GET", "/metrics/history", nil)
+		req.URL.RawQuery = rawQuery
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+
+		switch rec.Code {
+		case 200:
+			var v any
+			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+				t.Fatalf("200 with invalid JSON for query %q: %v", rawQuery, err)
+			}
+		case 400:
+			// fine: rejected input
+		default:
+			t.Fatalf("query %q -> unexpected status %d", rawQuery, rec.Code)
+		}
+
+		// The parser alone must also be total.
+		if vals, err := url.ParseQuery(rawQuery); err == nil {
+			_, _ = parseHistoryQuery(vals)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"time"
+
+	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/metrics"
+	"tycoongrid/internal/slo"
+	"tycoongrid/internal/tsdb"
+)
+
+// DefaultScrapeInterval is the self-scrape cadence daemons use unless
+// configured otherwise. Five seconds keeps a 5m SLO window at ~60 judged
+// samples per objective.
+const DefaultScrapeInterval = 5 * time.Second
+
+// Config wires a Plane.
+type Config struct {
+	// Service names the daemon in SLO logs ("bankd", "auctioneerd", ...).
+	Service string
+	// Registry to self-scrape; nil means the process default.
+	Registry *metrics.Registry
+	// Capacity is the per-series ring size; 0 means tsdb.DefaultCapacity.
+	Capacity int
+	// Interval between self-scrapes for Run; 0 means DefaultScrapeInterval.
+	Interval time.Duration
+	// Now is the scrape/evaluation clock; nil means time.Now. Simulations
+	// inject engine time here so stored history is deterministic.
+	Now func() time.Time
+	// Objectives to evaluate; nil means slo.DefaultObjectives().
+	// An explicitly empty, non-nil slice disables SLO evaluation.
+	Objectives []slo.Objective
+	// Probes run before every self-scrape. They exist for derived gauges
+	// that are too expensive to maintain inline — the bank's conservation
+	// drift walks every account, so it is computed once per scrape tick
+	// rather than once per transfer.
+	Probes []func()
+}
+
+// Plane is one daemon's telemetry stack: self-scrape collector, series
+// store, SLO evaluator and the HTTP handlers that expose them.
+type Plane struct {
+	service   string
+	db        *tsdb.DB
+	collector *tsdb.Collector
+	evaluator *slo.Evaluator
+	probes    []func()
+	interval  time.Duration
+}
+
+// NewPlane builds a telemetry plane from cfg.
+func NewPlane(cfg Config) *Plane {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = tsdb.DefaultCapacity
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultScrapeInterval
+	}
+	rules := cfg.Objectives
+	if rules == nil {
+		rules = slo.DefaultObjectives()
+	}
+	db := tsdb.NewDB(capacity)
+	p := &Plane{
+		service:   cfg.Service,
+		db:        db,
+		collector: tsdb.NewCollector(reg, db, cfg.Now),
+		probes:    cfg.Probes,
+		interval:  interval,
+	}
+	if len(rules) > 0 {
+		opts := []slo.Option{slo.WithRegistry(reg)}
+		if cfg.Now != nil {
+			opts = append(opts, slo.WithNow(cfg.Now))
+		}
+		p.evaluator = slo.New(cfg.Service, db, rules, opts...)
+	}
+	return p
+}
+
+// DB exposes the plane's series store.
+func (p *Plane) DB() *tsdb.DB { return p.db }
+
+// Evaluator returns the SLO evaluator (nil when objectives are disabled).
+func (p *Plane) Evaluator() *slo.Evaluator { return p.evaluator }
+
+// Collect runs one telemetry tick: probes, self-scrape, SLO evaluation.
+// Returns the number of series points appended.
+func (p *Plane) Collect() int {
+	for _, probe := range p.probes {
+		probe()
+	}
+	n := p.collector.Collect()
+	if p.evaluator != nil {
+		p.evaluator.Evaluate()
+	}
+	return n
+}
+
+// Run ticks Collect every interval until stop closes. The first tick runs
+// immediately so the delta baseline is seeded at boot.
+func (p *Plane) Run(stop <-chan struct{}) {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	p.Collect()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.Collect()
+		}
+	}
+}
+
+// MuxOptions returns the ObservedMux options that mount the plane's
+// endpoints: GET /metrics/history and, when SLOs are enabled, GET /slo.
+func (p *Plane) MuxOptions() []httpapi.MuxOption {
+	opts := []httpapi.MuxOption{
+		httpapi.WithHandler("GET /metrics/history", HistoryHandler(p.db)),
+	}
+	if p.evaluator != nil {
+		opts = append(opts, httpapi.WithHandler("GET /slo", p.evaluator.Handler()))
+	}
+	return opts
+}

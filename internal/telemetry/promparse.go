@@ -1,0 +1,285 @@
+// Package telemetry is the market's observability plane. Each daemon runs a
+// Plane: a self-scrape loop feeding the process registry into an embedded
+// tsdb, an SLO evaluator over that history, and HTTP handlers
+// (/metrics/history, /slo) mounted on the daemon's ObservedMux. An
+// Aggregator — hosted by the SLS daemon or run in-process by gridtop —
+// scrapes every peer's /metrics over the fault-tolerant httpapi transport
+// and rebuilds the same derived series fleet-wide, so one query answers
+// "what is the p99 across the grid" without any external monitoring stack.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SampleKind classifies a parsed family.
+type SampleKind string
+
+// Family kinds from the exposition's TYPE metadata.
+const (
+	KindGauge     SampleKind = "gauge"
+	KindCounter   SampleKind = "counter"
+	KindHistogram SampleKind = "histogram"
+	KindUnknown   SampleKind = "unknown"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Key is the full sample identity as exposed: name plus rendered labels,
+	// e.g. `http_requests_total{code="200",route="/bids"}`.
+	Key string
+	// Name is the bare metric name (with _bucket/_sum/_count suffixes kept).
+	Name string
+	// Labels holds the parsed label pairs, sorted by key.
+	Labels []Label
+	Value  float64
+	// Exemplar carries the OpenMetrics exemplar riding this line, if any.
+	Exemplar *ScrapedExemplar
+}
+
+// Label is one parsed label pair.
+type Label struct{ Key, Value string }
+
+// Get returns the value for a label key ("" when absent).
+func (s *Sample) Get(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ScrapedExemplar is an exemplar parsed off an OpenMetrics bucket line.
+type ScrapedExemplar struct {
+	TraceID string
+	Value   float64
+}
+
+// Scrape is one parsed exposition.
+type Scrape struct {
+	// Types maps family name -> kind, from "# TYPE" metadata. OpenMetrics
+	// names counter families without the _total suffix; KindOf handles both.
+	Types   map[string]SampleKind
+	Samples []Sample
+}
+
+// KindOf resolves a sample name to its family kind, stripping the counter
+// and histogram-component suffixes the two exposition dialects disagree on.
+func (sc *Scrape) KindOf(name string) SampleKind {
+	if k, ok := sc.Types[name]; ok {
+		return k
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if k, ok := sc.Types[base]; ok {
+				return k
+			}
+		}
+	}
+	return KindUnknown
+}
+
+// ParseExposition parses a Prometheus 0.0.4 or OpenMetrics 1.0 text payload.
+// Unparseable lines are skipped, not fatal: a scrape that half-parses is
+// more useful to an operator than no scrape at all.
+func ParseExposition(text []byte) *Scrape {
+	sc := &Scrape{Types: map[string]SampleKind{}}
+	for _, line := range strings.Split(string(text), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			if name, kind, ok := parseTypeLine(rest); ok {
+				sc.Types[name] = kind
+			}
+			continue
+		}
+		if s, ok := parseSampleLine(line); ok {
+			sc.Samples = append(sc.Samples, s)
+		}
+	}
+	return sc
+}
+
+// parseTypeLine handles `TYPE <name> <kind>` comment bodies.
+func parseTypeLine(rest string) (string, SampleKind, bool) {
+	fields := strings.Fields(rest)
+	if len(fields) != 3 || fields[0] != "TYPE" {
+		return "", "", false
+	}
+	switch SampleKind(fields[2]) {
+	case KindGauge, KindCounter, KindHistogram:
+		return fields[1], SampleKind(fields[2]), true
+	default:
+		return fields[1], KindUnknown, true
+	}
+}
+
+// parseSampleLine handles `name{labels} value [ts] [# {ex} v [ts]]`.
+func parseSampleLine(line string) (Sample, bool) {
+	var s Sample
+
+	// Split off an OpenMetrics exemplar first: ` # {...} value [ts]`.
+	if i := strings.Index(line, " # "); i >= 0 {
+		s.Exemplar = parseExemplar(line[i+3:])
+		line = strings.TrimSpace(line[:i])
+	}
+
+	// Name and optional label block.
+	rest := line
+	if brace := strings.IndexByte(rest, '{'); brace >= 0 {
+		s.Name = rest[:brace]
+		close := strings.IndexByte(rest[brace:], '}')
+		if close < 0 {
+			return s, false
+		}
+		var ok bool
+		s.Labels, ok = parseLabels(rest[brace+1 : brace+close])
+		if !ok {
+			return s, false
+		}
+		rest = strings.TrimSpace(rest[brace+close+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, false
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if s.Name == "" {
+		return s, false
+	}
+
+	// Value, then an optional timestamp we ignore (the aggregator stamps
+	// scrape time itself so peer clock skew cannot reorder its series).
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, false
+	}
+	s.Value = v
+	s.Key = sampleKey(s.Name, s.Labels)
+	return s, true
+}
+
+// parseLabels parses the inside of a label block. Escapes in label values
+// (\\, \", \n) are unescaped; a malformed block rejects the sample.
+func parseLabels(body string) ([]Label, bool) {
+	var out []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, strings.TrimSpace(body[i:]) == ""
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, false
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, false
+			}
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[i+1])
+				default:
+					val.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, Label{Key: key, Value: val.String()})
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out, true
+}
+
+// parseExemplar handles `{trace_id="..."} value [ts]`.
+func parseExemplar(rest string) *ScrapedExemplar {
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "{") {
+		return nil
+	}
+	close := strings.IndexByte(rest, '}')
+	if close < 0 {
+		return nil
+	}
+	labels, ok := parseLabels(rest[1:close])
+	if !ok {
+		return nil
+	}
+	ex := &ScrapedExemplar{}
+	for _, l := range labels {
+		if l.Key == "trace_id" {
+			ex.TraceID = l.Value
+		}
+	}
+	fields := strings.Fields(rest[close+1:])
+	if len(fields) > 0 {
+		if v, err := strconv.ParseFloat(fields[0], 64); err == nil {
+			ex.Value = v
+		}
+	}
+	if ex.TraceID == "" {
+		return nil
+	}
+	return ex
+}
+
+// sampleKey renders name + sorted labels back into the canonical series key.
+func sampleKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withoutLabel re-renders a sample key dropping one label (used to fold
+// histogram _bucket series across their "le" label).
+func withoutLabel(name string, labels []Label, drop string) string {
+	kept := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Key != drop {
+			kept = append(kept, l)
+		}
+	}
+	return sampleKey(name, kept)
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+
+	"tycoongrid/internal/metrics"
+)
+
+const exampleExposition = `# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{code="200",route="/bids"} 42
+requests_total{code="500",route="/bids"} 3
+# TYPE queue_depth gauge
+queue_depth 7.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.01"} 5 # {trace_id="aabbccdd"} 0.004 1700000000.0
+lat_seconds_bucket{le="0.1"} 9
+lat_seconds_bucket{le="+Inf"} 10
+lat_seconds_sum 0.85
+lat_seconds_count 10
+# EOF
+`
+
+func TestParseExposition(t *testing.T) {
+	sc := ParseExposition([]byte(exampleExposition))
+	if len(sc.Samples) != 8 {
+		t.Fatalf("samples = %d, want 8", len(sc.Samples))
+	}
+	if sc.KindOf("requests_total") != KindCounter {
+		t.Fatalf("requests_total kind = %s", sc.KindOf("requests_total"))
+	}
+	if sc.KindOf("lat_seconds_bucket") != KindHistogram || sc.KindOf("lat_seconds_sum") != KindHistogram {
+		t.Fatal("histogram components must resolve to their family kind")
+	}
+	if sc.KindOf("queue_depth") != KindGauge {
+		t.Fatal("gauge kind lost")
+	}
+	if sc.KindOf("mystery") != KindUnknown {
+		t.Fatal("unknown family must report unknown")
+	}
+
+	first := sc.Samples[0]
+	if first.Key != `requests_total{code="200",route="/bids"}` || first.Value != 42 {
+		t.Fatalf("first sample = %+v", first)
+	}
+	if got := first.Get("route"); got != "/bids" {
+		t.Fatalf("label get = %q", got)
+	}
+
+	var ex *ScrapedExemplar
+	for i := range sc.Samples {
+		if sc.Samples[i].Exemplar != nil {
+			ex = sc.Samples[i].Exemplar
+		}
+	}
+	if ex == nil || ex.TraceID != "aabbccdd" || ex.Value != 0.004 {
+		t.Fatalf("exemplar = %+v", ex)
+	}
+}
+
+// TestParseRoundTripsOwnRegistry feeds our own writers' output back through
+// the parser: whatever a daemon exposes, the aggregator must re-read. Both
+// dialects are exercised.
+func TestParseRoundTripsOwnRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.CounterVec("jobs_total", "jobs", "state").With("done").Add(9)
+	reg.Gauge("price", "p").Set(1.25)
+	h := reg.Histogram("lat_seconds", "lat", []float64{0.01, 0.1})
+	h.ObserveExemplar(0.05, "deadbeefcafe0123")
+
+	var prom, om bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, text := range map[string][]byte{"prometheus": prom.Bytes(), "openmetrics": om.Bytes()} {
+		sc := ParseExposition(text)
+		byKey := map[string]float64{}
+		for _, s := range sc.Samples {
+			byKey[s.Key] = s.Value
+		}
+		if byKey[`jobs_total{state="done"}`] != 9 {
+			t.Fatalf("%s: counter lost: %v", name, byKey)
+		}
+		if byKey["price"] != 1.25 {
+			t.Fatalf("%s: gauge lost: %v", name, byKey)
+		}
+		if byKey["lat_seconds_count"] != 1 {
+			t.Fatalf("%s: histogram count lost: %v", name, byKey)
+		}
+		if sc.KindOf("jobs_total") != KindCounter {
+			t.Fatalf("%s: counter kind lost (types: %v)", name, sc.Types)
+		}
+	}
+
+	// The OpenMetrics payload must carry the exemplar through the parser.
+	sc := ParseExposition(om.Bytes())
+	found := false
+	for i := range sc.Samples {
+		if e := sc.Samples[i].Exemplar; e != nil && e.TraceID == "deadbeefcafe0123" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exemplar did not round-trip:\n%s", om.String())
+	}
+}
+
+func TestParseHostileInput(t *testing.T) {
+	cases := []string{
+		"", "\n\n", "# garbage", "name_only", "x{unclosed 1",
+		`x{a="b} 1`, "y not-a-number", `z{a="b",} 1`,
+		"inf_val +Inf\nnan_val NaN",
+		`esc{a="q\"uo\\te\nnl"} 4`,
+	}
+	for _, c := range cases {
+		sc := ParseExposition([]byte(c)) // must not panic
+		for _, s := range sc.Samples {
+			if s.Key == "" {
+				t.Fatalf("parsed sample with empty key from %q", c)
+			}
+		}
+	}
+	sc := ParseExposition([]byte(`esc{a="q\"uo\\te\nnl"} 4`))
+	if len(sc.Samples) != 1 || sc.Samples[0].Get("a") != "q\"uo\\te\nnl" {
+		t.Fatalf("escape handling: %+v", sc.Samples)
+	}
+}

@@ -1,0 +1,71 @@
+package tsdb
+
+import "sort"
+
+// BucketStat is one downsampling bucket: the points of a fixed time slice
+// reduced to count/min/max/mean/p99. Empty buckets keep Count == 0 with
+// zeroed values so a rendered series keeps its regular time axis across
+// gaps (a restarted daemon shows a hole, not a seam).
+type BucketStat struct {
+	Start int64   `json:"start"` // unix nanoseconds, inclusive
+	End   int64   `json:"end"`   // unix nanoseconds, exclusive (last bucket: inclusive)
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P99   float64 `json:"p99"`
+}
+
+// Downsample reduces points (ascending by T) into n equal-width buckets
+// spanning [first.T, last.T], tail-aligned so the final bucket always ends
+// exactly at the newest point. n <= 1 or a single point collapses to one
+// bucket.
+func Downsample(points []Point, n int) []BucketStat {
+	if len(points) == 0 {
+		return nil
+	}
+	first, last := points[0].T, points[len(points)-1].T
+	if n <= 1 || first == last {
+		return []BucketStat{reduce(points, first, last)}
+	}
+	span := last - first
+	out := make([]BucketStat, n)
+	// Partition by index walk rather than per-point division: points are
+	// sorted, so each bucket is one contiguous slice.
+	lo := 0
+	for b := 0; b < n; b++ {
+		// Integer bucket edges that exactly tile [first, last].
+		start := first + span*int64(b)/int64(n)
+		end := first + span*int64(b+1)/int64(n)
+		hi := lo
+		for hi < len(points) && (points[hi].T < end || (b == n-1 && points[hi].T <= end)) {
+			hi++
+		}
+		out[b] = reduce(points[lo:hi], start, end)
+		lo = hi
+	}
+	return out
+}
+
+// reduce computes one bucket's stats. P99 is nearest-rank over a sorted
+// copy — bucket populations are small by construction, so the sort is
+// cheaper than maintaining a streaming sketch would be.
+func reduce(points []Point, start, end int64) BucketStat {
+	b := BucketStat{Start: start, End: end, Count: len(points)}
+	if len(points) == 0 {
+		return b
+	}
+	vals := make([]float64, len(points))
+	sum := 0.0
+	for i, p := range points {
+		vals[i] = p.V
+		sum += p.V
+	}
+	sort.Float64s(vals)
+	b.Min = vals[0]
+	b.Max = vals[len(vals)-1]
+	b.Mean = sum / float64(len(vals))
+	idx := int(0.99 * float64(len(vals)-1))
+	b.P99 = vals[idx]
+	return b
+}
