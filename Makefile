@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-check fuzz-short bench bench-scale scale-smoke bench-http recovery-smoke telemetry-smoke chaos trace-demo lint check
+.PHONY: all build vet test race race-check fuzz-short cover bench bench-scale scale-smoke bench-http recovery-smoke telemetry-smoke chaos trace-demo lint check
 
 all: build test
 
@@ -36,6 +36,22 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzRing$$' -fuzztime $(FUZZTIME) ./internal/pricefeed
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecover$$' -fuzztime $(FUZZTIME) ./internal/durable
 	$(GO) test -run '^$$' -fuzz '^FuzzHistoryQuery$$' -fuzztime $(FUZZTIME) ./internal/telemetry
+	$(GO) test -run '^$$' -fuzz '^FuzzMechanismClear$$' -fuzztime $(FUZZTIME) ./internal/mechanism
+	$(GO) test -run '^$$' -fuzz '^FuzzParseValuation$$' -fuzztime $(FUZZTIME) ./internal/sla
+
+# Coverage gate for the market-critical packages: the clearing mechanisms and
+# the SLA terms/valuation layer must stay >= $(COVER_MIN)% statement coverage.
+# Money changes hands through these packages; untested branches there are
+# billing bugs waiting to happen.
+COVER_MIN ?= 85
+cover:
+	@for pkg in ./internal/mechanism ./internal/sla; do \
+		pct=$$($(GO) test -count=1 -cover $$pkg | awk '/coverage:/ { gsub("%","",$$(NF-2)); print $$(NF-2) }'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN { print (p >= m) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: $$pkg at $$pct% < $(COVER_MIN)%"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% >= $(COVER_MIN)%"; \
+	done
 
 # Static analysis beyond go vet. Pinned so results are reproducible; the
 # binary is not vendored and this environment cannot fetch it, so the target
@@ -105,4 +121,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet lint race-check fuzz-short chaos trace-demo scale-smoke recovery-smoke telemetry-smoke
+check: vet lint race-check cover fuzz-short chaos trace-demo scale-smoke recovery-smoke telemetry-smoke

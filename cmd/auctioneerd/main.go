@@ -14,12 +14,14 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/durable"
 	"tycoongrid/internal/fault"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/mechanism"
 	"tycoongrid/internal/sls"
 	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/tracing"
@@ -33,6 +35,8 @@ func main() {
 	maxVMs := flag.Int("maxvms", 30, "virtual machine limit (advertised)")
 	interval := flag.Duration("interval", auction.DefaultInterval, "reallocation interval")
 	reserve := flag.Float64("reserve", 1.0/3600, "reserve price, credits/second")
+	mechName := flag.String("mechanism", mechanism.Proportional,
+		"clearing rule: "+strings.Join(mechanism.Names(), "|"))
 	slsURL := flag.String("sls", "", "SLS base URL to register with (optional)")
 	site := flag.String("site", "", "owning site label")
 	endpoint := flag.String("endpoint", "", "advertised endpoint (default http://<addr>)")
@@ -50,16 +54,23 @@ func main() {
 	tracing.InitSlog("auctioneerd", os.Stderr, slog.LevelInfo)
 	tracing.Default().SetSampleRatio(*traceRatio)
 
+	mech, err := mechanism.New(*mechName, mechanism.Config{})
+	if err != nil {
+		slog.Error("auctioneerd: bad -mechanism", "err", err)
+		os.Exit(1)
+	}
 	market, err := auction.NewMarket(auction.Config{
 		HostID:       *host,
 		CapacityMHz:  *capacity,
 		ReservePrice: *reserve,
 		Start:        time.Now(),
+		Mechanism:    mech,
 	})
 	if err != nil {
 		slog.Error("auctioneerd: market construction failed", "err", err)
 		os.Exit(1)
 	}
+	slog.Info("auctioneerd: market", "host", *host, "mechanism", market.MechanismName())
 	svc, err := httpapi.NewAuctioneerService(market, map[string]int{
 		"hour": int(time.Hour / *interval),
 		"day":  int(24 * time.Hour / *interval),

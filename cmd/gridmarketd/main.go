@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"tycoongrid/internal/durable"
 	"tycoongrid/internal/fault"
 	"tycoongrid/internal/httpapi"
+	"tycoongrid/internal/mechanism"
 	"tycoongrid/internal/telemetry"
 	"tycoongrid/internal/token"
 	"tycoongrid/internal/tracing"
@@ -57,6 +59,8 @@ func main() {
 	strategyName := flag.String("strategy", "",
 		"meta-scheduler matchmaking strategy: current-price|predicted-mean|predicted-quantile|portfolio")
 	horizon := flag.Duration("horizon", 30*time.Minute, "forecast horizon for prediction strategies")
+	mechName := flag.String("mechanism", mechanism.Proportional,
+		"host market clearing rule: "+strings.Join(mechanism.Names(), "|"))
 	dataDir := flag.String("data-dir", "",
 		"directory for the broker's durable spent-token log; empty = in-memory (spent ids lost on restart)")
 	scrapeEvery := flag.Duration("scrape-interval", telemetry.DefaultScrapeInterval,
@@ -78,6 +82,7 @@ func main() {
 	cfg.Partitions = *partitions
 	cfg.Strategy = *strategyName
 	cfg.Horizon = *horizon
+	cfg.Mechanism = *mechName
 	if *dataDir != "" {
 		st, err := durable.Open(*dataDir, durable.Options{Sync: durable.SyncInterval})
 		if err != nil {

@@ -8,6 +8,17 @@ import (
 	"tycoongrid/internal/experiment"
 )
 
+// mechanismsParams applies the -mechanism flag on top of the experiment's
+// defaults: a comma-separated subset of mechanism.Names() to compare, or
+// empty/"all" for every registered clearing rule.
+func mechanismsParams(mechs string) experiment.MechanismsParams {
+	p := experiment.DefaultMechanismsParams()
+	if mechs != "" && mechs != "all" {
+		p.Mechanisms = strings.Split(mechs, ",")
+	}
+	return p
+}
+
 // strategiesParams applies the -strategy / -horizon flags on top of the
 // experiment's defaults.
 func strategiesParams(strat string, horizon time.Duration) experiment.StrategiesParams {
@@ -24,17 +35,20 @@ func strategiesParams(strat string, horizon time.Duration) experiment.Strategies
 // runReplicated runs an experiment's replication spec across a worker pool
 // and returns the aggregate table. Experiments without a spec (deterministic
 // sweeps) fall back to a single run.
-func runReplicated(name string, seed int64, csvDir string, reps, parallel int, strat string, horizon time.Duration) (string, error) {
+func runReplicated(name string, seed int64, csvDir string, reps, parallel int, strat string, horizon time.Duration, mechs string) (string, error) {
 	var spec experiment.RepSpec
 	var err error
-	if name == "strategies" {
+	switch name {
+	case "strategies":
 		// Honor the strategy/horizon flags rather than the stock spec.
 		spec = experiment.RepSpecStrategies(strategiesParams(strat, horizon))
-	} else {
+	case "mechanisms":
+		spec = experiment.RepSpecMechanisms(mechanismsParams(mechs))
+	default:
 		spec, err = experiment.DefaultRepSpec(name)
 	}
 	if err != nil {
-		out, err := runExperiment(name, seed, csvDir, strat, horizon)
+		out, err := runExperiment(name, seed, csvDir, strat, horizon, mechs)
 		if err != nil {
 			return "", err
 		}
@@ -56,8 +70,16 @@ func runReplicated(name string, seed int64, csvDir string, reps, parallel int, s
 
 // runExperiment dispatches one named experiment with the given seed and
 // returns its printable result.
-func runExperiment(name string, seed int64, csvDir string, strat string, horizon time.Duration) (string, error) {
+func runExperiment(name string, seed int64, csvDir string, strat string, horizon time.Duration, mechs string) (string, error) {
 	switch name {
+	case "mechanisms":
+		p := mechanismsParams(mechs)
+		p.World.Seed = seed
+		res, err := experiment.RunMechanisms(p)
+		if err != nil {
+			return "", err
+		}
+		return "Clearing-rule comparison: proportional share vs posted price vs VCG\n" + res.String(), nil
 	case "strategies":
 		p := strategiesParams(strat, horizon)
 		p.World.Seed = seed

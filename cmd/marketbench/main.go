@@ -38,7 +38,7 @@ import (
 
 func main() {
 	run := flag.String("run", "all",
-		"experiment: all|table1|table2|figure3|...|figure7|strategies|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
+		"experiment: all|table1|table2|figure3|...|figure7|strategies|mechanisms|ablation-scheduler|ablation-cap|ablation-smoothing|ablation-interval")
 	experimentAlias := flag.String("experiment", "", "alias for -run")
 	seed := flag.Int64("seed", 2006, "RNG seed for all experiments")
 	csvDir := flag.String("csv", "", "directory to write plot-ready CSV files (optional)")
@@ -47,6 +47,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "replication workers; 0 = GOMAXPROCS (output is identical for any value)")
 	strat := flag.String("strategy", "",
 		"strategies experiment: comma-separated matchmaking strategies to compare (default all registered)")
+	mechs := flag.String("mechanism", "",
+		"mechanisms experiment: comma-separated clearing rules to compare (default all registered)")
 	horizon := flag.Duration("horizon", 0,
 		"strategies experiment: forecast horizon (0 = experiment default)")
 	benchHosts := flag.Int("hosts", 0,
@@ -73,7 +75,7 @@ func main() {
 
 	names := []string{
 		"table1", "table2", "figure3", "figure4", "figure5", "figure6", "figure7",
-		"strategies", "scale",
+		"strategies", "scale", "mechanisms",
 		"ablation-scheduler", "ablation-cap", "ablation-smoothing", "ablation-interval",
 		"sla",
 	}
@@ -99,9 +101,9 @@ func main() {
 		var out string
 		var err error
 		if *reps > 1 {
-			out, err = runReplicated(name, *seed, *csvDir, *reps, *parallel, *strat, *horizon)
+			out, err = runReplicated(name, *seed, *csvDir, *reps, *parallel, *strat, *horizon, *mechs)
 		} else {
-			out, err = runExperiment(name, *seed, *csvDir, *strat, *horizon)
+			out, err = runExperiment(name, *seed, *csvDir, *strat, *horizon, *mechs)
 		}
 		release()
 		if err != nil {

@@ -10,7 +10,12 @@
 // §3) raises the remaining budget and recomputes the rate over the remaining
 // time.
 //
-// The Market is a pure mechanism: it computes shares and charges but does not
+// The Market owns bid lifecycle — budgets, deadlines, boosts, charging,
+// expiry — but delegates the economics of each reallocation (who gets what
+// fraction, at what pay rate, at what published price) to a pluggable
+// internal/mechanism.Mechanism. The default is the proportional-share rule
+// above, bit-for-bit identical to the pre-mechanism implementation; VCG and
+// posted-price clearing plug in through Config.Mechanism. The Market does not
 // itself touch a bank; the auctioneer layer applies the returned charges to
 // host accounts. Price statistics hooks feed the prediction stack of §4.
 package auction
@@ -25,6 +30,7 @@ import (
 
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/mathx"
+	"tycoongrid/internal/mechanism"
 	"tycoongrid/internal/metrics"
 	"tycoongrid/internal/tracing"
 )
@@ -41,6 +47,7 @@ type bidState struct {
 	remaining bank.Amount // unspent budget
 	deadline  time.Time
 	rate      float64 // credits/second, fixed until boost or re-bid
+	payRate   float64 // credits/second charged while active; set by the mechanism at each clear
 	active    bool    // consuming CPU this interval (charged only if true)
 }
 
@@ -68,6 +75,7 @@ type Market struct {
 	price     float64 // spot price at last reallocation, credits/second
 	now       time.Time
 	observers []func(price float64, at time.Time)
+	mech      mechanism.Mechanism // clearing rule; proportional share by default
 
 	priceGauge *metrics.Gauge  // this host's auction_clearing_price child
 	tracer     *tracing.Tracer // per-world scope source; Default unless injected
@@ -87,6 +95,10 @@ type Config struct {
 	// Nil means the process-wide tracing.Default(). Replicated experiments
 	// inject a per-world tracer so concurrent worlds never share scopes.
 	Tracer *tracing.Tracer
+	// Mechanism is the clearing rule applied at every Tick. Nil selects the
+	// paper's proportional-share rule. The instance must not be shared across
+	// markets: mechanisms may carry per-host state (the posted price).
+	Mechanism mechanism.Mechanism
 }
 
 // Errors returned by Market operations.
@@ -108,8 +120,13 @@ func NewMarket(cfg Config) (*Market, error) {
 	if tr == nil {
 		tr = tracing.Default()
 	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech, _ = mechanism.New(mechanism.Proportional, mechanism.Config{})
+	}
 	return &Market{
 		tracer:     tr,
+		mech:       mech,
 		hostID:     cfg.HostID,
 		capacity:   cfg.CapacityMHz,
 		reserve:    reserve,
@@ -122,6 +139,9 @@ func NewMarket(cfg Config) (*Market, error) {
 
 // HostID returns the host this market allocates.
 func (m *Market) HostID() string { return m.hostID }
+
+// MechanismName returns the name of the clearing rule in force.
+func (m *Market) MechanismName() string { return m.mech.Name() }
 
 // CapacityMHz returns the host's CPU capacity.
 func (m *Market) CapacityMHz() float64 { return m.capacity }
@@ -150,12 +170,17 @@ func (m *Market) PlaceBid(bidder BidderID, budget bank.Amount, deadline time.Tim
 	if old, ok := m.bids[bidder]; ok {
 		refund = old.remaining
 	}
+	rate := budget.Credits() / horizon
 	m.bids[bidder] = &bidState{
 		bidder:    bidder,
 		remaining: budget,
 		deadline:  deadline,
-		rate:      budget.Credits() / horizon,
-		active:    true,
+		rate:      rate,
+		// Until the next clear prices this bid, it pays its own reported
+		// rate — for proportional share that is also the final pay rate,
+		// which keeps the legacy charge sequence bit-identical.
+		payRate: rate,
+		active:  true,
 	}
 	mBidsPlaced.Inc()
 	mBidBudget.Observe(budget.Credits())
@@ -189,6 +214,7 @@ func (m *Market) Boost(bidder BidderID, extra bank.Amount) error {
 		horizon = DefaultInterval.Seconds()
 	}
 	b.rate = b.remaining.Credits() / horizon
+	b.payRate = b.rate // boosted spend applies immediately, repriced at next clear
 	mBoosts.Inc()
 	return nil
 }
@@ -273,17 +299,18 @@ func (m *Market) bidderIDsLocked() []BidderID {
 	return ids
 }
 
-// Shares returns the allocation as of the last reallocation, sorted by
-// bidder for determinism.
+// Shares returns the allocation under the current bids, computed by the
+// mechanism's side-effect-free Quote (stateful mechanisms such as
+// posted-price are not advanced), sorted by bidder for determinism.
 func (m *Market) Shares() []Share {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	total := m.totalRateLocked()
+	quote := m.mech.Quote(m.liveBidsLocked(), m.mechCapacity())
 	out := make([]Share, 0, len(m.bids))
 	for _, b := range m.bids {
 		frac := 0.0
-		if total > 0 && b.remaining > 0 {
-			frac = b.rate / total
+		if l, ok := quote.Line(string(b.bidder)); ok {
+			frac = l.Fraction
 		}
 		out = append(out, Share{Bidder: b.bidder, Fraction: frac, Rate: b.rate, Remaining: b.remaining})
 	}
@@ -298,11 +325,25 @@ func (m *Market) Bidders() int {
 	return len(m.bids)
 }
 
-func (m *Market) totalRateLocked() float64 {
-	return mathx.SortedSum(m.bidderIDsLocked(), func(id BidderID) (float64, bool) {
-		b := m.bids[id]
-		return b.rate, b.remaining > 0
-	})
+// liveBidsLocked snapshots the live bids (unspent budget remaining) in the
+// mechanism's input shape: ascending bidder order, unique bidders. The
+// ascending order is load-bearing — the proportional mechanism folds rates in
+// slice order, which must equal the legacy mathx.SortedSum sequence for
+// bit-identical spot prices.
+func (m *Market) liveBidsLocked() []mechanism.Bid {
+	ids := m.bidderIDsLocked()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]mechanism.Bid, 0, len(ids))
+	for _, id := range ids {
+		if b := m.bids[id]; b.remaining > 0 {
+			out = append(out, mechanism.Bid{Bidder: string(id), Rate: b.rate})
+		}
+	}
+	return out
+}
+
+func (m *Market) mechCapacity() mechanism.Capacity {
+	return mechanism.Capacity{MHz: m.capacity, Reserve: m.reserve}
 }
 
 // Tick advances the market clock to now, charging each active bidder
@@ -320,7 +361,7 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 
 	for id, b := range m.bids {
 		if b.active && b.remaining > 0 && dt > 0 {
-			owe, err := bank.FromCredits(b.rate * dt)
+			owe, err := bank.FromCredits(b.payRate * dt)
 			if err != nil || owe < 0 {
 				owe = b.remaining
 			}
@@ -342,10 +383,19 @@ func (m *Market) Tick(now time.Time) (charges []Charge, refunds []Charge) {
 		}
 	}
 
-	price := m.totalRateLocked()
-	if price < m.reserve {
-		price = m.reserve
+	// Reallocate through the mechanism: it publishes the new spot price and
+	// reprices every surviving bid for the coming interval. Bids the
+	// mechanism leaves out (e.g. not admitted at the posted price) hold
+	// their reservation for free until a later clear admits them.
+	cleared := m.mech.Clear(m.liveBidsLocked(), m.mechCapacity())
+	for id, b := range m.bids {
+		if l, ok := cleared.Line(string(id)); ok {
+			b.payRate = l.PayRate
+		} else {
+			b.payRate = 0
+		}
 	}
+	price := cleared.Price
 	m.price = price
 	obs := make([]func(float64, time.Time), len(m.observers))
 	copy(obs, m.observers)

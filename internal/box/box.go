@@ -49,6 +49,9 @@ type Config struct {
 	// the in-memory default. Daemons pass a token.DurableSpentStore so spent
 	// transfer ids survive restarts.
 	SpentStore token.SpentStore
+	// Mechanism selects the host markets' clearing rule (see
+	// internal/mechanism); empty = proportional share.
+	Mechanism string
 }
 
 // DefaultConfig returns a small but real market.
@@ -147,6 +150,7 @@ func New(cfg Config) (*Box, error) {
 		Hosts:        specs,
 		ReservePrice: cfg.ReservePrice,
 		Interval:     cfg.Interval,
+		Mechanism:    cfg.Mechanism,
 	})
 	if err != nil {
 		return nil, err

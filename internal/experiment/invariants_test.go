@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"tycoongrid/internal/bank"
+	"tycoongrid/internal/mechanism"
 )
 
 // TestMoneyConservedAcrossRandomWorkloads is the repository's end-to-end
@@ -111,7 +113,52 @@ func TestInvariantsAcrossReplications(t *testing.T) {
 			return []float64{delta, negative}, nil
 		},
 	}
-	for _, spec := range []RepSpec{tableSpec, loadSpec} {
+	// Mechanism workloads: the ablation-scheduler invariants must hold no
+	// matter which clearing rule the host markets run — posted price and VCG
+	// charge differently from proportional share, but none may mint, burn or
+	// strand a microcredit.
+	mechSpecs := make([]RepSpec, 0, len(mechanism.Names()))
+	for _, mechName := range mechanism.Names() {
+		mechName := mechName
+		mechSpecs = append(mechSpecs, RepSpec{
+			Name: "invariants-mechanism-" + mechName,
+			Cols: []string{"money_delta", "undrained_subaccounts", "negative_accounts"},
+			Run: func(seed int64) ([]float64, error) {
+				p := table
+				p.World.Seed = seed
+				p.World.Tracer = quietTracer()
+				p.World.Mechanism = mechName
+				w, err := NewWorld(p.World)
+				if err != nil {
+					return nil, err
+				}
+				for i, u := range w.Users {
+					if _, err := w.SubmitApp(u, p.Budgets[i], p.Deadline, p.SubJobs, p.ChunkMinutes, p.MaxNodes); err != nil {
+						return nil, err
+					}
+				}
+				w.Engine.RunFor(p.Horizon)
+				deposited := bank.Amount(p.World.Users) * p.World.GrantPerUser
+				delta := float64(w.Bank.TotalMoney() - deposited)
+				var undrained, negative float64
+				for _, id := range w.Bank.Accounts() {
+					a, err := w.Bank.Lookup(id)
+					if err != nil {
+						return nil, err
+					}
+					if a.Parent == "broker" && a.Balance != 0 {
+						undrained++
+					}
+					if a.Balance < 0 {
+						negative++
+					}
+				}
+				return []float64{delta, undrained, negative}, nil
+			},
+		})
+	}
+
+	for _, spec := range append([]RepSpec{tableSpec, loadSpec}, mechSpecs...) {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			t.Parallel()
@@ -128,6 +175,30 @@ func TestInvariantsAcrossReplications(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMechanismsFamilyConservation runs the mechanisms experiment family
+// end-to-end and asserts TotalMoney conservation held in every replication
+// under every clearing rule — the per-mechanism `conserved` column must be
+// exactly 1 for each rep.
+func TestMechanismsFamilyConservation(t *testing.T) {
+	p := DefaultMechanismsParams()
+	p.ProbeProfiles = 5 // conservation lives in the full-stack run, keep the probe cheap
+	agg, err := Replicate(RepSpecMechanisms(p), ReplicationConfig{Reps: 3, Parallel: 3, BaseSeed: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, col := range agg.Cols {
+		if !strings.HasSuffix(col, "_conserved") {
+			continue
+		}
+		for i, rep := range agg.PerRep {
+			if rep[c] != 1 {
+				t.Errorf("replication %d (seed %d): %s = %v, want 1 (money not conserved)",
+					i, agg.Seeds[i], col, rep[c])
+			}
+		}
 	}
 }
 

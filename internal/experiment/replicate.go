@@ -410,6 +410,8 @@ func DefaultRepSpec(name string) (RepSpec, error) {
 		return RepSpecStrategies(DefaultStrategiesParams()), nil
 	case "scale":
 		return RepSpecScale(DefaultScaleParams()), nil
+	case "mechanisms":
+		return RepSpecMechanisms(DefaultMechanismsParams()), nil
 	}
 	return RepSpec{}, fmt.Errorf("experiment: %q has no replication spec", name)
 }

@@ -76,6 +76,9 @@ type WorldConfig struct {
 	// tick, bit-for-bit identical to pre-shard releases; >= 2 enables the
 	// phased sharded tick (see grid.Config.Shards).
 	Shards int
+	// Mechanism selects the host markets' clearing rule (see
+	// internal/mechanism); empty = proportional share.
+	Mechanism string
 }
 
 // PaperWorld returns the paper's §5.2 setup: 30 dual-processor hosts, five
@@ -143,6 +146,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		PurgeIdleAfter: cfg.PurgeIdleAfter,
 		Tracer:         tr,
 		Shards:         cfg.Shards,
+		Mechanism:      cfg.Mechanism,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ import (
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/bank"
 	"tycoongrid/internal/marketplane"
+	"tycoongrid/internal/mechanism"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/tracing"
 	"tycoongrid/internal/vm"
@@ -95,6 +96,11 @@ type Config struct {
 	// plane (concurrently across shards), phase two applies charges,
 	// refunds and task progress sequentially in host order.
 	Shards int
+	// Mechanism names the clearing rule every host market runs
+	// (mechanism.Names: proportional, posted-price, vcg). Empty selects the
+	// paper's proportional share. Each host gets its own mechanism instance,
+	// since mechanisms may carry per-host state such as the posted price.
+	Mechanism string
 }
 
 // Cluster is the simulated Tycoon network.
@@ -181,12 +187,17 @@ func New(engine *sim.Engine, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		mech, err := mechanism.New(cfg.Mechanism, mechanism.Config{})
+		if err != nil {
+			return nil, err
+		}
 		market, err := auction.NewMarket(auction.Config{
 			HostID:       spec.ID,
 			CapacityMHz:  vmm.EffectiveCapacity(spec.CPUMHz * float64(spec.CPUs)),
 			ReservePrice: cfg.ReservePrice,
 			Start:        engine.Now(),
 			Tracer:       tr,
+			Mechanism:    mech,
 		})
 		if err != nil {
 			return nil, err

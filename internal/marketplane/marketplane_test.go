@@ -7,21 +7,31 @@ import (
 
 	"tycoongrid/internal/auction"
 	"tycoongrid/internal/bank"
+	"tycoongrid/internal/mechanism"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/tracing"
 )
 
 func testMarkets(t *testing.T, n int) []HostMarket {
+	return testMechanismMarkets(t, n, mechanism.Proportional)
+}
+
+func testMechanismMarkets(t *testing.T, n int, mechName string) []HostMarket {
 	t.Helper()
 	quiet := tracing.New(tracing.WithCapacity(8))
 	quiet.SetSampleRatio(0)
 	out := make([]HostMarket, n)
 	for i := range out {
+		mech, err := mechanism.New(mechName, mechanism.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		m, err := auction.NewMarket(auction.Config{
 			HostID:      fmt.Sprintf("h%03d", i),
 			CapacityMHz: 1000,
 			Start:       sim.Epoch,
 			Tracer:      quiet,
+			Mechanism:   mech,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -79,12 +89,19 @@ func TestPlaneSkipPredicate(t *testing.T) {
 
 // The determinism contract: the same bid stream driven through planes at
 // different shard counts over identical market sets yields identical charges,
-// refunds and spot prices, tick for tick and host for host. Sharding changes
-// who clears a host, never what the clear computes.
+// refunds and spot prices, tick for tick and host for host, under every
+// registered clearing mechanism. Sharding changes who clears a host, never
+// what the clear computes.
 func TestShardCountInvariance(t *testing.T) {
+	for _, mechName := range mechanism.Names() {
+		t.Run(mechName, func(t *testing.T) { testShardCountInvariance(t, mechName) })
+	}
+}
+
+func testShardCountInvariance(t *testing.T, mechName string) {
 	const hosts = 16
 	run := func(shards int) ([][]TickResult, []float64) {
-		markets := testMarkets(t, hosts)
+		markets := testMechanismMarkets(t, hosts, mechName)
 		p, err := New(Config{Shards: shards, Markets: markets})
 		if err != nil {
 			t.Fatal(err)

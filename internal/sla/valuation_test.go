@@ -1,0 +1,169 @@
+package sla
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tycoongrid/internal/rng"
+)
+
+func TestValuationValueRate(t *testing.T) {
+	v, err := ParseValuation("100:2,100:1,50:0.5")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cases := []struct{ q, want float64 }{
+		{-5, 0}, {0, 0}, {50, 100}, {100, 200}, {150, 250}, {200, 300},
+		{225, 312.5}, {250, 325}, {1e6, 325},
+	}
+	for _, c := range cases {
+		if got := v.ValueRate(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ValueRate(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if w := v.WidthMHz(); w != 250 {
+		t.Errorf("WidthMHz = %v, want 250", w)
+	}
+}
+
+func TestValuationValidate(t *testing.T) {
+	bad := []Valuation{
+		{Segments: []ValuationSegment{{WidthMHz: 0, Marginal: 1}}},
+		{Segments: []ValuationSegment{{WidthMHz: -3, Marginal: 1}}},
+		{Segments: []ValuationSegment{{WidthMHz: math.Inf(1), Marginal: 1}}},
+		{Segments: []ValuationSegment{{WidthMHz: math.NaN(), Marginal: 1}}},
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: -0.1}}},
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: math.NaN()}}},
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: math.Inf(1)}}},
+		// Rising marginals violate concavity.
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: 1}, {WidthMHz: 1, Marginal: 2}}},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid valuation %+v", i, v)
+		}
+	}
+	good := []Valuation{
+		{},
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: 0}}},
+		{Segments: []ValuationSegment{{WidthMHz: 1, Marginal: 2}, {WidthMHz: 5, Marginal: 2}}},
+	}
+	for i, v := range good {
+		if err := v.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected valid valuation: %v", i, err)
+		}
+	}
+}
+
+func TestParseValuationErrors(t *testing.T) {
+	for _, text := range []string{
+		"nonsense", "1:", ":1", "1:2,", "1;2", "1:2:3,", "-1:2", "1:-2",
+		"1:2,1:3", // rising marginal
+		"inf:1", "1:nan",
+	} {
+		if _, err := ParseValuation(text); err == nil {
+			t.Errorf("ParseValuation(%q) accepted invalid input", text)
+		}
+	}
+}
+
+func TestParseValuationRoundTrip(t *testing.T) {
+	src := rng.New(41)
+	for i := 0; i < 200; i++ {
+		v := RandomValuation(src, 2800)
+		got, err := ParseValuation(v.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", v.String(), err)
+		}
+		if got.String() != v.String() {
+			t.Fatalf("round trip changed %q to %q", v.String(), got.String())
+		}
+	}
+	if v, err := ParseValuation("  "); err != nil || len(v.Segments) != 0 {
+		t.Errorf("blank input: got %+v, %v; want zero valuation", v, err)
+	}
+}
+
+func TestValuationFromRate(t *testing.T) {
+	v := ValuationFromRate(0.3, 3000)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("derived valuation invalid: %v", err)
+	}
+	if got := v.ValueRate(3000); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("value at full capacity = %v, want the spend rate 0.3", got)
+	}
+	if got := v.ValueRate(1500); got <= 0.15 {
+		t.Errorf("concave valuation should front-load value: half capacity worth %v <= half rate", got)
+	}
+	for _, v := range []Valuation{
+		ValuationFromRate(0, 100),
+		ValuationFromRate(-1, 100),
+		ValuationFromRate(1, 0),
+		ValuationFromRate(math.Inf(1), 100),
+		ValuationFromRate(math.NaN(), 100),
+	} {
+		if len(v.Segments) != 0 {
+			t.Errorf("degenerate input produced non-zero valuation %+v", v)
+		}
+	}
+}
+
+func TestValuationScale(t *testing.T) {
+	v, _ := ParseValuation("10:2,10:1")
+	s := v.Scale(0.5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled valuation invalid: %v", err)
+	}
+	if got := s.ValueRate(20); math.Abs(got-15) > 1e-12 {
+		t.Errorf("scaled value = %v, want 15", got)
+	}
+}
+
+func TestRandomValuationValid(t *testing.T) {
+	src := rng.New(7)
+	for i := 0; i < 500; i++ {
+		v := RandomValuation(src, 2800)
+		if err := v.Validate(); err != nil {
+			t.Fatalf("RandomValuation produced invalid valuation: %v", err)
+		}
+		if v.ValueRate(v.WidthMHz()) <= 0 {
+			t.Fatalf("RandomValuation produced worthless valuation %+v", v)
+		}
+	}
+}
+
+func FuzzParseValuation(f *testing.F) {
+	for _, seed := range []string{
+		"", "1400:0.002,1400:0.001", "100:2,100:1,50:0.5", "1:0",
+		"nonsense", "1:2,1:3", "-1:2", "1e308:1e308", " 10 : 0.5 , 10 : 0.25 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		v, err := ParseValuation(text)
+		if err != nil {
+			return
+		}
+		// Accepted input must satisfy the contract and round-trip.
+		if verr := v.Validate(); verr != nil {
+			t.Fatalf("ParseValuation(%q) accepted but Validate fails: %v", text, verr)
+		}
+		for _, q := range []float64{0, 1, v.WidthMHz() / 2, v.WidthMHz(), v.WidthMHz() * 2} {
+			got := v.ValueRate(q)
+			if math.IsNaN(got) || got < 0 {
+				t.Fatalf("ValueRate(%v) = %v for %q", q, got, text)
+			}
+		}
+		again, err := ParseValuation(v.String())
+		if err != nil {
+			t.Fatalf("String() of accepted valuation does not re-parse: %q: %v", v.String(), err)
+		}
+		if again.String() != v.String() {
+			t.Fatalf("String round trip unstable: %q -> %q", v.String(), again.String())
+		}
+		if !strings.Contains(text, ",") && len(v.Segments) > 1 {
+			t.Fatalf("no comma in %q but %d segments parsed", text, len(v.Segments))
+		}
+	})
+}

@@ -237,8 +237,8 @@ func TestHandler(t *testing.T) {
 		t.Fatalf("status = %d", rec.Code)
 	}
 	var rep struct {
-		Service   string `json:"service"`
-		Violating int    `json:"violating"`
+		Service    string `json:"service"`
+		Violating  int    `json:"violating"`
 		Objectives []struct {
 			Violating bool `json:"violating"`
 		} `json:"objectives"`

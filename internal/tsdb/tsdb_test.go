@@ -59,11 +59,11 @@ func TestSeriesWindowAtWraparound(t *testing.T) {
 		window time.Duration
 		want   []int64 // expected point values (== their seconds)
 	}{
-		{1 * time.Second, []int64{6}},                  // window smaller than spacing: newest only
-		{2 * time.Second, []int64{5, 6}},               // crosses the head slot
-		{3 * time.Second, []int64{4, 5, 6}},            // spans the physical wrap point
-		{4 * time.Second, []int64{3, 4, 5, 6}},         // exactly the full retention
-		{time.Hour, []int64{3, 4, 5, 6}},               // bigger than retention: clipped, no phantom points
+		{1 * time.Second, []int64{6}},                          // window smaller than spacing: newest only
+		{2 * time.Second, []int64{5, 6}},                       // crosses the head slot
+		{3 * time.Second, []int64{4, 5, 6}},                    // spans the physical wrap point
+		{4 * time.Second, []int64{3, 4, 5, 6}},                 // exactly the full retention
+		{time.Hour, []int64{3, 4, 5, 6}},                       // bigger than retention: clipped, no phantom points
 		{3*time.Second + time.Nanosecond, []int64{3, 4, 5, 6}}, // boundary: start lands exactly on oldest
 	}
 	for _, tc := range cases {
