@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-check fuzz-short cover bench bench-scale scale-smoke bench-http recovery-smoke telemetry-smoke chaos trace-demo lint check
+.PHONY: all build vet test race race-check fuzz-short cover bench bench-scale scale-smoke bench-http bench-predict bench-predict-full recovery-smoke telemetry-smoke chaos trace-demo lint check
 
 all: build test
 
@@ -39,13 +39,14 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzMechanismClear$$' -fuzztime $(FUZZTIME) ./internal/mechanism
 	$(GO) test -run '^$$' -fuzz '^FuzzParseValuation$$' -fuzztime $(FUZZTIME) ./internal/sla
 
-# Coverage gate for the market-critical packages: the clearing mechanisms and
-# the SLA terms/valuation layer must stay >= $(COVER_MIN)% statement coverage.
-# Money changes hands through these packages; untested branches there are
-# billing bugs waiting to happen.
+# Coverage gate for the market-critical packages: the clearing mechanisms,
+# the SLA terms/valuation layer, and the prediction models (batch + streaming
+# — every scheduling decision flows through their forecasts) must stay
+# >= $(COVER_MIN)% statement coverage. Money changes hands through these
+# packages; untested branches there are billing bugs waiting to happen.
 COVER_MIN ?= 85
 cover:
-	@for pkg in ./internal/mechanism ./internal/sla; do \
+	@for pkg in ./internal/mechanism ./internal/sla ./internal/predict; do \
 		pct=$$($(GO) test -count=1 -cover $$pkg | awk '/coverage:/ { gsub("%","",$$(NF-2)); print $$(NF-2) }'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
 		ok=$$(awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN { print (p >= m) ? 1 : 0 }'); \
@@ -82,6 +83,23 @@ bench-scale:
 # pass. Wired into `check`; the JSON artifact is not overwritten.
 scale-smoke:
 	$(GO) run ./cmd/marketbench -hosts 200 -jobs 2000 -shards 4 -bench-out ""
+
+# Forecast-throughput regression gate: measure the batch copy-and-refit
+# pipeline vs the streaming incremental predictors at 100 host streams
+# (matching the committed baseline's workload shape) and fail on a >20%
+# streaming ns/op regression, a speedup below 10x, or batch/streaming
+# forecast disagreement, against the committed BENCH_predict.json. Wired
+# into `check`; the committed artifact is not overwritten.
+bench-predict:
+	$(GO) run ./cmd/marketbench -bench predict -bench-hosts 100 -bench-out /tmp/bench_predict_smoke.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_predict.json -current /tmp/bench_predict_smoke.json
+
+# Full sweep (100/1k/10k host streams) that regenerates BENCH_predict.json.
+# Run when a predictor change intentionally moves the baseline, and commit
+# the result.
+bench-predict-full:
+	$(GO) run ./cmd/marketbench -bench predict
+	$(GO) run ./cmd/benchguard -baseline BENCH_predict.json -current BENCH_predict.json
 
 # Million-request HTTP load harness: signed transfers through the real bankd
 # serving stack per durability mode (in-memory, fsync=interval, fsync=always),
@@ -121,4 +139,4 @@ CHAOS_SEED ?= 1
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos -args -chaos.seed=$(CHAOS_SEED)
 
-check: vet lint race-check cover fuzz-short chaos trace-demo scale-smoke recovery-smoke telemetry-smoke
+check: vet lint race-check cover fuzz-short chaos trace-demo scale-smoke bench-predict recovery-smoke telemetry-smoke

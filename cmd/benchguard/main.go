@@ -1,0 +1,113 @@
+// Command benchguard compares a fresh forecast-throughput measurement
+// against the committed BENCH_predict.json baseline and fails (exit 1) when
+// the streaming pipeline regressed — a benchcmp-style gate for `make check`,
+// so a change that quietly reintroduces per-forecast refitting or per-read
+// allocation is caught before it lands.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_predict.json -current /tmp/smoke.json
+//	benchguard -baseline BENCH_predict.json -current new.json -max-regress 0.20 -min-speedup 10
+//
+// Host counts present in only one file are reported but not compared, so a
+// cheap smoke run (one small host count) can be gated against the full
+// committed sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tycoongrid/internal/predict"
+)
+
+// benchFile mirrors marketbench's BENCH_predict.json shape.
+type benchFile struct {
+	Forecasts int                   `json:"forecasts"`
+	Seed      int64                 `json:"seed"`
+	Runs      []predict.BenchResult `json:"runs"`
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Runs) == 0 {
+		return f, fmt.Errorf("%s: no runs", path)
+	}
+	return f, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_predict.json", "committed baseline sweep")
+	currentPath := flag.String("current", "", "fresh measurement to gate (required)")
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"max allowed fractional streaming ns/op regression vs baseline")
+	minSpeedup := flag.Float64("min-speedup", 10,
+		"min required batch/streaming speedup in every current run (0 disables)")
+	maxRelDiff := flag.Float64("max-rel-diff", 1e-9,
+		"max allowed batch-vs-streaming forecast disagreement (0 disables)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := make(map[int]predict.BenchResult, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[r.Hosts] = r
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+	for _, cur := range current.Runs {
+		if *minSpeedup > 0 && cur.Speedup < *minSpeedup {
+			fail("hosts=%d: speedup %.1fx < required %.1fx", cur.Hosts, cur.Speedup, *minSpeedup)
+		}
+		if *maxRelDiff > 0 && cur.MaxRelDiff > *maxRelDiff {
+			fail("hosts=%d: batch/streaming forecasts disagree: max rel diff %.3g > %.3g",
+				cur.Hosts, cur.MaxRelDiff, *maxRelDiff)
+		}
+		b, ok := base[cur.Hosts]
+		if !ok {
+			fmt.Printf("skip: hosts=%d not in baseline (speedup %.1fx, stream %.0f ns/op)\n",
+				cur.Hosts, cur.Speedup, cur.StreamNsPerOp)
+			continue
+		}
+		limit := b.StreamNsPerOp * (1 + *maxRegress)
+		verdict := "ok"
+		if cur.StreamNsPerOp > limit {
+			fail("hosts=%d: streaming %.0f ns/op vs baseline %.0f (+%.0f%% > +%.0f%% allowed)",
+				cur.Hosts, cur.StreamNsPerOp, b.StreamNsPerOp,
+				100*(cur.StreamNsPerOp/b.StreamNsPerOp-1), 100**maxRegress)
+			verdict = "REGRESSED"
+		}
+		fmt.Printf("%s: hosts=%d stream %.0f ns/op (baseline %.0f, %+.1f%%), %.1f allocs/op, speedup %.1fx\n",
+			verdict, cur.Hosts, cur.StreamNsPerOp, b.StreamNsPerOp,
+			100*(cur.StreamNsPerOp/b.StreamNsPerOp-1), cur.StreamAllocsPerOp, cur.Speedup)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

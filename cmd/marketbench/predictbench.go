@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tycoongrid/internal/predict"
+)
+
+// predictBenchFile is the serialized forecast-throughput sweep — the
+// committed BENCH_predict.json artifact cmd/benchguard gates against.
+type predictBenchFile struct {
+	Forecasts int                   `json:"forecasts"`
+	Seed      int64                 `json:"seed"`
+	Runs      []predict.BenchResult `json:"runs"`
+}
+
+// runPredictBench measures batch-refit vs streaming forecast throughput at
+// each requested host count, prints a summary table, and writes the sweep to
+// outPath.
+func runPredictBench(hostsCSV string, forecasts int, outPath string, seed int64) error {
+	var hostCounts []int
+	for _, f := range strings.Split(hostsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -bench-hosts entry %q", f)
+		}
+		hostCounts = append(hostCounts, n)
+	}
+	if len(hostCounts) == 0 {
+		return fmt.Errorf("empty -bench-hosts list")
+	}
+
+	file := predictBenchFile{Forecasts: forecasts, Seed: seed}
+	fmt.Printf("%-7s %14s %12s %14s %12s %13s %9s %12s\n",
+		"hosts", "batch ns/op", "allocs/op", "stream ns/op", "allocs/op",
+		"observe ns", "speedup", "max rel diff")
+	for _, n := range hostCounts {
+		res, err := predict.RunForecastBench(predict.BenchConfig{
+			Hosts: n, Forecasts: forecasts, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("hosts=%d: %w", n, err)
+		}
+		file.Runs = append(file.Runs, res)
+		fmt.Printf("%-7d %14.0f %12.1f %14.0f %12.1f %13.1f %8.1fx %12.2e\n",
+			n, res.BatchNsPerOp, res.BatchAllocsPerOp, res.StreamNsPerOp,
+			res.StreamAllocsPerOp, res.StreamObserveNsPerSample, res.Speedup,
+			res.MaxRelDiff)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

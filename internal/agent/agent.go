@@ -20,6 +20,7 @@ import (
 	"tycoongrid/internal/core"
 	"tycoongrid/internal/grid"
 	"tycoongrid/internal/pki"
+	"tycoongrid/internal/predict"
 	"tycoongrid/internal/pricefeed"
 	"tycoongrid/internal/sim"
 	"tycoongrid/internal/strategy"
@@ -201,6 +202,13 @@ type Config struct {
 	// FeedCapacity bounds the per-host price-history ring the agent records
 	// from the auction clears. 0 means pricefeed.DefaultCapacity.
 	FeedCapacity int
+	// Streaming names a streaming predictor family (predict.StreamingAR,
+	// predict.StreamingNormal, predict.StreamingWindow) to colocate with the
+	// price feed: one predictor per partition host, attached as a ring sink
+	// and updated incrementally on every auction clear, so matchmaking reads
+	// forecasts through ForecastHandle instead of refitting from a copied
+	// history per decision. Empty disables streaming (the legacy batch path).
+	Streaming string
 	// BidSplit, when set, is consulted before Best Response: if it accepts
 	// (returns allocations), the job's budget is split by its weights instead
 	// of the KKT solution — the paper's §4.4 portfolio bidding. On decline
@@ -218,6 +226,7 @@ type Agent struct {
 	earnings bank.AccountID
 	pump     *sim.Ticker
 	feed     *pricefeed.Hub
+	stream   *predict.FeedForecasts // nil unless Config.Streaming is set
 }
 
 // Errors returned by the agent.
@@ -263,6 +272,18 @@ func New(cfg Config) (*Agent, error) {
 			return nil, fmt.Errorf("agent: partition host %q: %w", id, err)
 		}
 		h.Market.Observe(a.feed.Observer(id))
+	}
+	// Colocate streaming predictors with the feed: attached before the first
+	// clear, each sees the exact sample stream its host's ring records.
+	if cfg.Streaming != "" {
+		stream, err := predict.AttachHub(a.feed, cfg.Streaming, predict.PredictorConfig{
+			Window: cfg.FeedCapacity,
+			Step:   cfg.Cluster.Interval(),
+		}, a.hostIDs()...)
+		if err != nil {
+			return nil, fmt.Errorf("agent: streaming predictor: %w", err)
+		}
+		a.stream = stream
 	}
 	// Route market charges to bank transfers: sub-account -> host earnings.
 	// Chain rather than replace any existing hook, so replicated agents
@@ -1005,6 +1026,29 @@ func (a *Agent) HostHistory(hostID string) []float64 {
 
 // Feed exposes the agent's price-feed hub (e.g. for daemon diagnostics).
 func (a *Agent) Feed() *pricefeed.Hub { return a.feed }
+
+// ForecastHandle returns a partition-level streaming forecast handle — the
+// combined forecast over this agent's hosts, read from predictor state that
+// the feed updates on every clear — or nil when Config.Streaming is unset.
+// A meta-scheduler puts the handle on its strategy.Candidate so prediction
+// strategies skip the history-copy-and-refit path entirely.
+func (a *Agent) ForecastHandle() strategy.ForecastFunc {
+	if a.stream == nil {
+		return nil
+	}
+	return func(horizon time.Duration) (predict.Forecast, error) {
+		return a.stream.ForecastMean(a.hostIDs(), horizon)
+	}
+}
+
+// Streaming returns the name of the attached streaming predictor family, or
+// "" when the agent runs the legacy batch prediction path.
+func (a *Agent) Streaming() string {
+	if a.stream == nil {
+		return ""
+	}
+	return a.stream.Name()
+}
 
 // Cluster returns the grid cluster the agent schedules onto.
 func (a *Agent) Cluster() *grid.Cluster { return a.cfg.Cluster }

@@ -73,7 +73,12 @@ func (m *Meta) Strategy() string { return m.strat.Name() }
 func (m *Meta) Replicas() int { return len(m.replicas) }
 
 // pick delegates replica selection to the strategy, handing it each
-// partition's current price and recorded price history.
+// partition's current price and price signal. History is passed lazily —
+// strategies that never look at the raw series (current-price, predicted-*
+// behind a streaming handle) skip the per-candidate mean-history
+// materialization entirely. Agents running a streaming predictor also
+// contribute a Forecast handle, so prediction strategies read O(1) state
+// instead of refitting.
 func (m *Meta) pick() (*Manager, strategy.Pick) {
 	cands := make([]strategy.Candidate, len(m.replicas))
 	for i, r := range m.replicas {
@@ -81,8 +86,9 @@ func (m *Meta) pick() (*Manager, strategy.Pick) {
 		cands[i] = strategy.Candidate{
 			ID:           r.cfg.ClusterName,
 			CurrentPrice: ag.MeanSpotPrice(),
-			History:      ag.PriceHistory(0),
+			Hist:         func() []float64 { return ag.PriceHistory(0) },
 			Step:         ag.Cluster().Interval(),
+			Forecast:     ag.ForecastHandle(),
 		}
 	}
 	p, err := m.strat.Pick(cands)

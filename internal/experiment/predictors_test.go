@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/predict"
+)
+
+// shrunkPredictorsParams keeps the bursty/steady shape but compresses the
+// clock so the paired batch-vs-streaming replay stays test-sized.
+func shrunkPredictorsParams() PredictorsParams {
+	p := DefaultPredictorsParams()
+	p.Scenario.Hours = 10
+	p.Scenario.Window = 240
+	p.Scenario.Horizon = 15 * time.Minute
+	p.Scenario.WavePeriod = 40 * time.Minute
+	p.Scenario.SteadyEvery = 15 * time.Minute
+	p.Scenario.MeasureStart = time.Hour
+	p.Scenario.MeasureEvery = 40 * time.Minute
+	p.Scenario.MeasureDeadline = 2 * time.Hour
+	return p
+}
+
+// TestRunPredictorsPaired runs the paired comparison once and checks both
+// pipelines produced finished measured jobs with sane, finite aggregates —
+// the end-to-end proof that the streaming path schedules, not just forecasts.
+func TestRunPredictorsPaired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired predictor replay takes a few seconds")
+	}
+	p := shrunkPredictorsParams()
+	p.Scenario.World.Seed = 2006
+	p.Scenario.World.Tracer = quietTracer()
+	res, err := RunPredictors(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(res.Outcomes))
+	}
+	if res.Outcomes[0].Pipeline.Streaming != "" ||
+		res.Outcomes[1].Pipeline.Streaming != predict.StreamingAR {
+		t.Fatalf("pipeline order drifted: %+v", res.Outcomes)
+	}
+	for _, o := range res.Outcomes {
+		if o.Jobs == 0 {
+			t.Errorf("%s: no measured jobs finished", o.Pipeline.Label)
+		}
+		for name, v := range map[string]float64{
+			"cost": o.MeanCost, "makespan": o.MeanMakespanMin, "pred_mae": o.PredMAE,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("%s: %s = %v", o.Pipeline.Label, name, v)
+			}
+		}
+	}
+	// Paired seeds, same scenario: the streaming pipeline must keep scoring
+	// predictions (it forecasts through handles, not fallbacks, once warm).
+	if res.Outcomes[1].PredMAE == 0 {
+		t.Errorf("streaming pipeline scored no predictions (MAE 0): handle path likely dead")
+	}
+}
+
+// TestPredictorsReplicationDeterminism is the -parallel property for the
+// predictors family: identical CSV bytes and aggregates on 1 worker and 3.
+func TestPredictorsReplicationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated predictor comparison takes ~10s")
+	}
+	spec := RepSpecPredictors(shrunkPredictorsParams())
+	serial, err := Replicate(spec, ReplicationConfig{Reps: 2, Parallel: 1, BaseSeed: 2006})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := Replicate(spec, ReplicationConfig{Reps: 2, Parallel: 3, BaseSeed: 2006})
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("aggregates differ between 1 and 3 workers:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	for _, csv := range []struct {
+		name string
+		get  func(*Aggregate) ([]byte, error)
+	}{
+		{"summary", (*Aggregate).SummaryCSV},
+		{"per-rep", (*Aggregate).PerRepCSV},
+	} {
+		s, err := csv.get(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := csv.get(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s, p) {
+			t.Errorf("%s CSVs differ across worker counts:\n%s\n---\n%s", csv.name, s, p)
+		}
+	}
+}

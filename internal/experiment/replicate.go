@@ -408,6 +408,8 @@ func DefaultRepSpec(name string) (RepSpec, error) {
 		return RepSpecAblationSmoothing(p), nil
 	case "strategies":
 		return RepSpecStrategies(DefaultStrategiesParams()), nil
+	case "predictors":
+		return RepSpecPredictors(DefaultPredictorsParams()), nil
 	case "scale":
 		return RepSpecScale(DefaultScaleParams()), nil
 	case "mechanisms":

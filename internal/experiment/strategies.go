@@ -51,6 +51,12 @@ type StrategiesParams struct {
 	Predictor string
 	// Window is the history window (in market ticks) for predictors.
 	Window int
+	// Streaming, when non-empty, names a streaming predictor family
+	// (predict.StreamingAR, ...) each partition agent colocates with its
+	// price feed; prediction strategies then read partition forecasts
+	// through O(1) handles instead of refitting from copied history. Empty
+	// keeps the legacy batch pipeline — the golden-pinned default.
+	Streaming string
 
 	// Bursty background on partition 0: every WavePeriod a wave of WaveJobs
 	// heavily-funded batch jobs lands, then completes, producing the sharp
@@ -265,6 +271,11 @@ func buildStrategiesWorld(p StrategiesParams, stratName string) (*stratWorld, er
 			// Shared broker account: distinct prefixes keep the per-job
 			// sub-accounts (broker/p0-0001, ...) collision-free.
 			JobIDPrefix: fmt.Sprintf("p%d", i),
+			Streaming:   p.Streaming,
+			// Streaming runs cap the ring at the batch predictors' window so
+			// both pipelines forecast from the same trailing history; the
+			// legacy path keeps the golden-pinned default capacity.
+			FeedCapacity: streamingFeedCap(p),
 		})
 		if err != nil {
 			return nil, err
@@ -315,6 +326,16 @@ func buildStrategiesWorld(p StrategiesParams, stratName string) (*stratWorld, er
 		})
 	}
 	return w, nil
+}
+
+// streamingFeedCap returns the per-host ring capacity for a streaming run
+// (the batch window, so both pipelines see the same trailing history) and 0
+// — the pricefeed default — for the legacy path, which golden tests pin.
+func streamingFeedCap(p StrategiesParams) int {
+	if p.Streaming == "" {
+		return 0
+	}
+	return p.Window
 }
 
 // mint pays credits from user u to the shared broker account.

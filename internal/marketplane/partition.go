@@ -1,24 +1,13 @@
 package marketplane
 
-// FNV-1a 64-bit, inlined so the per-key hash is allocation-free (the stdlib
-// hash.Hash interface forces a heap-allocated state object per use).
-const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
-)
+import keyshard "tycoongrid/internal/shard"
 
 // ShardOf maps a key (a host id, an account id) to one of n shards by
 // FNV-1a hash. The assignment depends only on the key and n, never on
 // insertion order, so adding hosts or accounts does not migrate existing
-// ones between shards within a run.
+// ones between shards within a run. The hash itself lives in internal/shard
+// so lower layers (the pricefeed hub's lock stripes) can share it without
+// importing the market plane.
 func ShardOf(key string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnvOffset64
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= fnvPrime64
-	}
-	return int(h % uint64(n))
+	return keyshard.Of(key, n)
 }

@@ -1,0 +1,229 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"tycoongrid/internal/rng"
+)
+
+// This file is the forecast-throughput harness behind `marketbench -bench
+// predict`: the same per-host price streams are forecast through the legacy
+// batch pipeline (copy the window, replay it into a fresh predictor, refit —
+// what strategy.predicted did per candidate before streaming handles) and
+// through streaming predictors whose state was updated as the samples
+// arrived. The committed BENCH_predict.json records ns/op and allocs/op for
+// both paths; cmd/benchguard gates regressions against it.
+
+// BenchConfig shapes one forecast-throughput measurement.
+type BenchConfig struct {
+	Hosts     int           // distinct per-host price streams
+	Window    int           // samples per stream (ring capacity and fit window)
+	Order     int           // AR order; <= 0 means DefaultOrder
+	Forecasts int           // forecast reads measured, round-robin over hosts
+	Horizon   time.Duration // forecast horizon; <= 0 means 30 minutes
+	Seed      int64
+}
+
+// BenchResult is one measurement — a row of BENCH_predict.json.
+type BenchResult struct {
+	Hosts     int `json:"hosts"`
+	Window    int `json:"window"`
+	Order     int `json:"order"`
+	Forecasts int `json:"forecasts"`
+
+	// Batch pipeline: per forecast, copy the host's window and refit.
+	BatchNsPerOp     float64 `json:"batch_ns_per_op"`
+	BatchAllocsPerOp float64 `json:"batch_allocs_per_op"`
+	// Streaming pipeline: per forecast, read the incrementally-updated model.
+	StreamNsPerOp     float64 `json:"stream_ns_per_op"`
+	StreamAllocsPerOp float64 `json:"stream_allocs_per_op"`
+	// StreamObserveNsPerSample is the incremental cost the streaming path
+	// pays at observation time (amortized over the whole feed phase).
+	StreamObserveNsPerSample float64 `json:"stream_observe_ns_per_sample"`
+
+	// Speedup is BatchNsPerOp / StreamNsPerOp.
+	Speedup float64 `json:"speedup"`
+
+	// Forecast agreement between the two pipelines over the measured reads:
+	// checksums (sums of forecast means) and the worst relative difference.
+	BatchChecksum  float64 `json:"batch_checksum"`
+	StreamChecksum float64 `json:"stream_checksum"`
+	MaxRelDiff     float64 `json:"max_rel_diff"`
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.Hosts <= 0 {
+		c.Hosts = 100
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Order <= 0 {
+		c.Order = DefaultOrder
+	}
+	if c.Forecasts <= 0 {
+		c.Forecasts = 2000
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 30 * time.Minute
+	}
+	return c
+}
+
+// benchSeries builds hosts deterministic mean-reverting positive price
+// series, window samples each.
+func benchSeries(c BenchConfig) [][]float64 {
+	src := rng.New(c.Seed)
+	out := make([][]float64, c.Hosts)
+	for h := range out {
+		s := src.Split()
+		vs := make([]float64, c.Window)
+		price := 0.2 + 0.1*s.Uniform(0, 1)
+		for i := range vs {
+			price += 0.15*(0.25-price) + 0.02*s.Normal(0, 1)
+			if s.Uniform(0, 1) < 0.02 {
+				price += s.Uniform(0.1, 0.4) // wave spike
+			}
+			if price < 0.01 {
+				price = 0.01
+			}
+			vs[i] = price
+		}
+		out[h] = vs
+	}
+	return out
+}
+
+// RunForecastBench measures both pipelines on identical streams and returns
+// the comparison. The batch path deliberately mirrors the legacy
+// strategy.predicted cost shape: one history copy, one fresh predictor, one
+// full replay with synthetic timestamps, one fit — per forecast.
+func RunForecastBench(c BenchConfig) (BenchResult, error) {
+	c = c.withDefaults()
+	cfg := PredictorConfig{Window: c.Window, Order: c.Order}
+	res := BenchResult{Hosts: c.Hosts, Window: c.Window, Order: c.Order, Forecasts: c.Forecasts}
+	series := benchSeries(c)
+
+	// Feed the streaming predictors, timing the incremental observation cost.
+	streams := make([]StreamingPredictor, c.Hosts)
+	for h := range streams {
+		sp, err := NewStreaming(StreamingAR, cfg)
+		if err != nil {
+			return res, err
+		}
+		streams[h] = sp
+	}
+	start := time.Now()
+	for h, vs := range series {
+		t := time.Unix(0, 0)
+		for _, v := range vs {
+			t = t.Add(DefaultStep)
+			if err := streams[h].Observe(v, t); err != nil {
+				return res, fmt.Errorf("predict bench: feed host %d: %w", h, err)
+			}
+		}
+	}
+	res.StreamObserveNsPerSample = float64(time.Since(start).Nanoseconds()) /
+		float64(c.Hosts*c.Window)
+
+	batchMeans := make([]float64, c.Forecasts)
+	streamMeans := make([]float64, c.Forecasts)
+
+	// Batch pipeline: copy + replay + refit per forecast.
+	batchNs, batchAllocs, err := measure(c.Forecasts, func(i int) (float64, error) {
+		vs := series[i%c.Hosts]
+		hist := make([]float64, len(vs))
+		copy(hist, vs)
+		p, err := NewPredictor("ar", cfg)
+		if err != nil {
+			return 0, err
+		}
+		t := time.Unix(0, 0)
+		for _, v := range hist {
+			t = t.Add(DefaultStep)
+			if err := p.Observe(t, v); err != nil {
+				return 0, err
+			}
+		}
+		f, err := p.Predict(c.Horizon)
+		if err != nil {
+			return 0, err
+		}
+		return f.Mean, nil
+	}, batchMeans)
+	if err != nil {
+		return res, fmt.Errorf("predict bench: batch: %w", err)
+	}
+	res.BatchNsPerOp, res.BatchAllocsPerOp = batchNs, batchAllocs
+
+	// Streaming pipeline: the fit already happened at observation time.
+	streamNs, streamAllocs, err := measure(c.Forecasts, func(i int) (float64, error) {
+		f, err := streams[i%c.Hosts].Forecast(c.Horizon)
+		if err != nil {
+			return 0, err
+		}
+		return f.Mean, nil
+	}, streamMeans)
+	if err != nil {
+		return res, fmt.Errorf("predict bench: streaming: %w", err)
+	}
+	res.StreamNsPerOp, res.StreamAllocsPerOp = streamNs, streamAllocs
+	if res.StreamNsPerOp > 0 {
+		res.Speedup = res.BatchNsPerOp / res.StreamNsPerOp
+	}
+
+	for i := range batchMeans {
+		res.BatchChecksum += batchMeans[i]
+		res.StreamChecksum += streamMeans[i]
+		if d := relDiff(batchMeans[i], streamMeans[i]); d > res.MaxRelDiff {
+			res.MaxRelDiff = d
+		}
+	}
+	return res, nil
+}
+
+// measure runs op n times per pass for measurePasses passes, recording each
+// result into means, and returns the best-pass (ns/op, allocs/op) from wall
+// time and the runtime's mallocs counter. Taking the minimum over passes
+// filters scheduler noise out of wall time and one-time lazy work (first-use
+// solves, scratch growth) out of allocations, so the committed numbers are a
+// steady-state floor the regression guard can compare across runs.
+const measurePasses = 3
+
+func measure(n int, op func(i int) (float64, error), means []float64) (nsPerOp, allocsPerOp float64, err error) {
+	nsPerOp = math.Inf(1)
+	allocsPerOp = math.Inf(1)
+	for pass := 0; pass < measurePasses; pass++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			v, err := op(i)
+			if err != nil {
+				return 0, 0, err
+			}
+			means[i] = v
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		nsPerOp = math.Min(nsPerOp, float64(elapsed.Nanoseconds())/float64(n))
+		allocsPerOp = math.Min(allocsPerOp, float64(after.Mallocs-before.Mallocs)/float64(n))
+	}
+	return nsPerOp, allocsPerOp, nil
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}

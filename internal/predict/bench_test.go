@@ -1,0 +1,47 @@
+package predict
+
+import "testing"
+
+// TestForecastBenchSmoke runs a small forecast-throughput measurement and
+// checks the harness's invariants rather than absolute timings (which belong
+// to BENCH_predict.json and cmd/benchguard): both pipelines must agree to
+// fit-equivalence precision on every forecast, and the streaming read path
+// must beat the copy-and-refit path on both time and allocations.
+func TestForecastBenchSmoke(t *testing.T) {
+	res, err := RunForecastBench(BenchConfig{Hosts: 20, Window: 240, Forecasts: 200, Seed: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRelDiff > 1e-9 {
+		t.Errorf("pipelines disagree: max relative forecast diff %g > 1e-9", res.MaxRelDiff)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("streaming slower than batch: speedup %.2f", res.Speedup)
+	}
+	if res.StreamAllocsPerOp >= res.BatchAllocsPerOp {
+		t.Errorf("streaming allocates %.1f/op, batch %.1f/op — handle path should be near-zero",
+			res.StreamAllocsPerOp, res.BatchAllocsPerOp)
+	}
+	if res.BatchChecksum == 0 || res.StreamChecksum == 0 {
+		t.Errorf("zero checksum: batch %g stream %g", res.BatchChecksum, res.StreamChecksum)
+	}
+}
+
+// TestForecastBenchDeterministicChecksums pins the harness's workload: the
+// same seed must produce identical forecast checksums run to run, so two
+// BENCH_predict.json generations are comparable.
+func TestForecastBenchDeterministicChecksums(t *testing.T) {
+	cfg := BenchConfig{Hosts: 10, Window: 200, Forecasts: 50, Seed: 7}
+	a, err := RunForecastBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunForecastBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BatchChecksum != b.BatchChecksum || a.StreamChecksum != b.StreamChecksum {
+		t.Errorf("checksums not reproducible: %g/%g vs %g/%g",
+			a.BatchChecksum, a.StreamChecksum, b.BatchChecksum, b.StreamChecksum)
+	}
+}

@@ -62,6 +62,15 @@ type PredictorConfig struct {
 	// Step is the expected observation spacing, used to convert a horizon
 	// into forecast steps (<= 0 means the paper's 10 s reallocation period).
 	Step time.Duration
+	// ResolveEvery is the streaming AR model's amortized Levinson cadence:
+	// the Yule-Walker system is re-solved once per this many accepted
+	// observations (<= 0 means DefaultResolveEvery). Batch models ignore it.
+	ResolveEvery int
+	// Shrink is the stabilization target for iterated streaming AR
+	// forecasts: coefficients are rescaled so sum |alpha_j| <= Shrink before
+	// iterating, exactly like the batch pipeline's ARModel.Shrink(0.995)
+	// (<= 0 means DefaultShrink). Batch models ignore it.
+	Shrink float64
 }
 
 // Registry defaults.

@@ -1,0 +1,527 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"tycoongrid/internal/pricefeed"
+	"tycoongrid/internal/rng"
+)
+
+const streamStep = 10 * time.Second
+
+// feedStream pushes xs into sp with synthetic timestamps spaced streamStep
+// apart, failing the test on any rejection.
+func feedStream(t *testing.T, sp StreamingPredictor, xs []float64) {
+	t.Helper()
+	at := time.Unix(0, 0)
+	for i, x := range xs {
+		at = at.Add(streamStep)
+		if err := sp.Observe(x, at); err != nil {
+			t.Fatalf("observe %d (%v): %v", i, x, err)
+		}
+	}
+}
+
+// priceSeries generates a positive random-walk price series shaped like the
+// market's spot prices: a base level with autocorrelated noise and
+// occasional jumps, never touching zero.
+func priceSeries(src *rng.Source, n int) []float64 {
+	xs := make([]float64, n)
+	level := src.Uniform(0.05, 8)
+	x := level
+	for i := range xs {
+		x += 0.3*(level-x) + src.Normal(0, 0.12*level)
+		if src.Float64() < 0.05 {
+			x += src.Uniform(-0.5, 2) * level // batch arriving or completing
+		}
+		if x < 0.001 {
+			x = 0.001
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// closeTo applies the 1e-9 equivalence tolerance (absolute, plus relative
+// for large magnitudes).
+func closeTo(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// batchForecastMean reproduces the batch pipeline the streaming AR model
+// replaces: fit on the window, shrink to the stabilization bound, iterate,
+// clamp at zero. Streaming forecasts must match it within 1e-9.
+func batchForecastMean(t *testing.T, xs []float64, order, steps int) float64 {
+	t.Helper()
+	m, err := FitAR(xs, order)
+	if err != nil {
+		t.Fatalf("batch FitAR: %v", err)
+	}
+	m.Shrink(DefaultShrink)
+	fc, err := m.Forecast(xs, steps)
+	if err != nil {
+		t.Fatalf("batch forecast: %v", err)
+	}
+	mean := fc[len(fc)-1]
+	if mean < 0 {
+		mean = 0
+	}
+	return mean
+}
+
+// TestStreamingAREquivalence is the incremental-fit contract: over >= 1000
+// seeded series, the streaming AR fit (running centered autocovariances,
+// rank-1 updates) must match the batch FitAR fit within 1e-9 on identical
+// windows, and the streaming forecast must match the batch
+// fit+shrink+iterate pipeline within 1e-9.
+func TestStreamingAREquivalence(t *testing.T) {
+	src := rng.New(20060808)
+	for trial := 0; trial < 1200; trial++ {
+		order := 1 + src.Intn(8)
+		n := 2*order + 1 + src.Intn(110)
+		xs := priceSeries(src, n)
+
+		sp := newStreamAR(PredictorConfig{
+			Window: n, Order: order, Step: streamStep, ResolveEvery: 1,
+		})
+		feedStream(t, sp, xs)
+
+		batch, err := FitAR(xs, order)
+		if err != nil {
+			t.Fatalf("trial %d: batch FitAR: %v", trial, err)
+		}
+		got, err := sp.Model()
+		if err != nil {
+			t.Fatalf("trial %d: streaming Model: %v", trial, err)
+		}
+		if !closeTo(got.Mu, batch.Mu) {
+			t.Fatalf("trial %d (n=%d k=%d): Mu %v vs batch %v", trial, n, order, got.Mu, batch.Mu)
+		}
+		for j := range batch.Coeffs {
+			if !closeTo(got.Coeffs[j], batch.Coeffs[j]) {
+				t.Fatalf("trial %d (n=%d k=%d): coeff %d: %v vs batch %v",
+					trial, n, order, j, got.Coeffs[j], batch.Coeffs[j])
+			}
+		}
+
+		steps := 1 + src.Intn(n)
+		fc, err := sp.Forecast(time.Duration(steps) * streamStep)
+		if err != nil {
+			t.Fatalf("trial %d: streaming forecast: %v", trial, err)
+		}
+		want := batchForecastMean(t, xs, order, steps)
+		if !closeTo(fc.Mean, want) {
+			t.Fatalf("trial %d (n=%d k=%d steps=%d): forecast %v vs batch %v",
+				trial, n, order, steps, fc.Mean, want)
+		}
+		_, wantSigma := meanStd(xs)
+		if !closeTo(fc.Sigma, wantSigma) {
+			t.Fatalf("trial %d: sigma %v vs batch %v", trial, fc.Sigma, wantSigma)
+		}
+	}
+}
+
+// TestStreamingARWraparound drives the ring far past its capacity — many
+// full turnovers, so evictions, rank-1 downdates and the periodic exact
+// refresh all fire — and pins the fit to batch FitAR over the trailing
+// window at several probe points.
+func TestStreamingARWraparound(t *testing.T) {
+	src := rng.New(41)
+	const window, order = 48, 6
+	xs := priceSeries(src, window*7+13)
+
+	sp := newStreamAR(PredictorConfig{
+		Window: window, Order: order, Step: streamStep, ResolveEvery: 1,
+	})
+	at := time.Unix(0, 0)
+	for i, x := range xs {
+		at = at.Add(streamStep)
+		if err := sp.Observe(x, at); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		probe := i == window-1 || i == window || i == 2*window+7 || i == len(xs)-1
+		if !probe {
+			continue
+		}
+		lo := i + 1 - window
+		if lo < 0 {
+			lo = 0
+		}
+		tail := xs[lo : i+1]
+		batch, err := FitAR(tail, order)
+		if err != nil {
+			t.Fatalf("probe %d: batch: %v", i, err)
+		}
+		got, err := sp.Model()
+		if err != nil {
+			t.Fatalf("probe %d: streaming: %v", i, err)
+		}
+		if !closeTo(got.Mu, batch.Mu) {
+			t.Fatalf("probe %d: Mu %v vs %v", i, got.Mu, batch.Mu)
+		}
+		for j := range batch.Coeffs {
+			if !closeTo(got.Coeffs[j], batch.Coeffs[j]) {
+				t.Fatalf("probe %d coeff %d: %v vs %v", i, j, got.Coeffs[j], batch.Coeffs[j])
+			}
+		}
+		fc, err := sp.Forecast(7 * streamStep)
+		if err != nil {
+			t.Fatalf("probe %d: forecast after wraparound: %v", i, err)
+		}
+		if want := batchForecastMean(t, tail, order, 7); !closeTo(fc.Mean, want) {
+			t.Fatalf("probe %d: wraparound forecast %v vs batch %v", i, fc.Mean, want)
+		}
+	}
+}
+
+// TestStreamingDegenerateSeries mirrors the batch edge cases through the
+// streaming interface: flat reserve-price stretches, near-flat windows,
+// too-short histories, and poisoned samples.
+func TestStreamingDegenerateSeries(t *testing.T) {
+	t.Run("constant series predicts the mean", func(t *testing.T) {
+		sp := newStreamAR(PredictorConfig{Window: 64, Order: 6, Step: streamStep, ResolveEvery: 1})
+		constant := make([]float64, 40)
+		for i := range constant {
+			constant[i] = 0.25
+		}
+		feedStream(t, sp, constant)
+		m, err := sp.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mu != 0.25 {
+			t.Errorf("Mu = %v, want 0.25", m.Mu)
+		}
+		for j, a := range m.Coeffs {
+			if a != 0 {
+				t.Errorf("coeff %d = %v, want 0", j, a)
+			}
+		}
+		fc, err := sp.Forecast(5 * streamStep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.Mean != 0.25 || fc.Sigma != 0 {
+			t.Errorf("forecast (%v, %v), want (0.25, 0)", fc.Mean, fc.Sigma)
+		}
+	})
+
+	t.Run("near-constant series stays finite and matches batch", func(t *testing.T) {
+		sp := newStreamAR(PredictorConfig{Window: 64, Order: 4, Step: streamStep, ResolveEvery: 1})
+		near := make([]float64, 40)
+		for i := range near {
+			near[i] = 0.25 + 1e-12*float64(i%3)
+		}
+		feedStream(t, sp, near)
+		fc, err := sp.Forecast(10 * streamStep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(fc.Mean) || math.IsInf(fc.Mean, 0) || math.IsNaN(fc.Sigma) {
+			t.Fatalf("forecast diverged: %+v", fc)
+		}
+		// This window is numerically ill-conditioned — a 1e-12 signal under a
+		// 0.25 offset — so coefficient-level equivalence with batch is not
+		// meaningful (the batch fit's own mean-subtraction error is larger
+		// than the signal). The contract here matches the batch edge test:
+		// the fit stays finite and the forecast stays pinned to the level.
+		if math.Abs(fc.Mean-0.25) > 1e-9 {
+			t.Errorf("near-constant forecast %v, want ~0.25", fc.Mean)
+		}
+		m, err := sp.Model()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, a := range m.Coeffs {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				t.Errorf("coeff %d non-finite: %v", j, a)
+			}
+		}
+	})
+
+	t.Run("short history reports ErrInsufficientHistory", func(t *testing.T) {
+		for _, name := range []string{StreamingNormal, StreamingWindow, StreamingAR} {
+			sp, err := NewStreaming(name, PredictorConfig{Order: 4, Step: streamStep})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.Observe(1.5, time.Unix(1, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.Forecast(time.Minute); !errors.Is(err, ErrInsufficientHistory) {
+				t.Errorf("%s: error %v, want ErrInsufficientHistory", name, err)
+			}
+		}
+	})
+
+	t.Run("poisoned samples rejected at the boundary", func(t *testing.T) {
+		for _, name := range []string{StreamingNormal, StreamingWindow, StreamingAR} {
+			sp, err := NewStreaming(name, PredictorConfig{Step: streamStep})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := time.Unix(100, 0)
+			if err := sp.Observe(1, base); err != nil {
+				t.Fatal(err)
+			}
+			cases := []struct {
+				price float64
+				at    time.Time
+				want  error
+			}{
+				{math.NaN(), base.Add(time.Second), pricefeed.ErrNonFinite},
+				{math.Inf(1), base.Add(time.Second), pricefeed.ErrNonFinite},
+				{math.Inf(-1), base.Add(time.Second), pricefeed.ErrNonFinite},
+				{-0.5, base.Add(time.Second), pricefeed.ErrNegative},
+				{1, base.Add(-time.Second), pricefeed.ErrOutOfOrder},
+				{1, base, pricefeed.ErrDuplicate},
+			}
+			for _, c := range cases {
+				if err := sp.Observe(c.price, c.at); !errors.Is(err, c.want) {
+					t.Errorf("%s: Observe(%v, %v) = %v, want %v", name, c.price, c.at, err, c.want)
+				}
+			}
+			// Rejections must leave the stream usable.
+			if err := sp.Observe(1.1, base.Add(time.Minute)); err != nil {
+				t.Errorf("%s: stream poisoned by rejected samples: %v", name, err)
+			}
+		}
+	})
+}
+
+// TestStreamingNormalMatchesBatch pins streaming-normal to the batch normal
+// model exactly: they are the same Welford fold, so equality is bitwise.
+func TestStreamingNormalMatchesBatch(t *testing.T) {
+	src := rng.New(7)
+	xs := priceSeries(src, 300)
+	sp, _ := NewStreaming(StreamingNormal, PredictorConfig{})
+	batch := &normalPredictor{}
+	at := time.Unix(0, 0)
+	for _, x := range xs {
+		at = at.Add(streamStep)
+		if err := sp.Observe(x, at); err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.Observe(at, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sp.Forecast(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.Predict(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming-normal %+v != batch normal %+v", got, want)
+	}
+}
+
+// TestStreamingWindowMoments pins the exponentially-weighted recurrence on a
+// hand-checked sequence, and its regime-tracking behavior: after a level
+// shift the EW mean converges to the new level like the trailing window
+// does, while the all-time normal model does not.
+func TestStreamingWindowMoments(t *testing.T) {
+	sp, _ := NewStreaming(StreamingWindow, PredictorConfig{Window: 3}) // alpha = 0.5
+	at := time.Unix(0, 0)
+	mean, v := 0.0, 0.0
+	for i, x := range []float64{4, 8, 2, 6} {
+		at = at.Add(streamStep)
+		if err := sp.Observe(x, at); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			mean = x
+			continue
+		}
+		d := x - mean
+		incr := 0.5 * d
+		mean += incr
+		v = 0.5 * (v + d*incr)
+	}
+	fc, err := sp.Forecast(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeTo(fc.Mean, mean) || !closeTo(fc.Sigma, math.Sqrt(v)) {
+		t.Fatalf("EW moments (%v, %v), want (%v, %v)", fc.Mean, fc.Sigma, mean, math.Sqrt(v))
+	}
+
+	// Regime shift: 200 ticks at 1.0, then 200 at 5.0.
+	sp2, _ := NewStreaming(StreamingWindow, PredictorConfig{Window: 60})
+	norm, _ := NewStreaming(StreamingNormal, PredictorConfig{})
+	at = time.Unix(0, 0)
+	for i := 0; i < 400; i++ {
+		price := 1.0
+		if i >= 200 {
+			price = 5.0
+		}
+		at = at.Add(streamStep)
+		if err := sp2.Observe(price, at); err != nil {
+			t.Fatal(err)
+		}
+		if err := norm.Observe(price, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _ := sp2.Forecast(time.Hour)
+	n, _ := norm.Forecast(time.Hour)
+	if math.Abs(w.Mean-5) > 0.1 {
+		t.Errorf("EW window mean %v did not track the new regime", w.Mean)
+	}
+	if math.Abs(n.Mean-3) > 0.1 {
+		t.Errorf("all-time normal mean %v, want ~3 (averages both regimes)", n.Mean)
+	}
+}
+
+// TestStreamingAmortizedResolve verifies the ResolveEvery contract: between
+// solve boundaries the coefficients stay fixed (forecasts still see new
+// window values), and the fit refreshes at the boundary.
+func TestStreamingAmortizedResolve(t *testing.T) {
+	src := rng.New(99)
+	xs := priceSeries(src, 80)
+
+	lazy := newStreamAR(PredictorConfig{Window: 200, Order: 4, Step: streamStep, ResolveEvery: 1 << 20})
+	eager := newStreamAR(PredictorConfig{Window: 200, Order: 4, Step: streamStep, ResolveEvery: 1})
+	at := time.Unix(0, 0)
+	observe := func(x float64) {
+		at = at.Add(streamStep)
+		if err := lazy.Observe(x, at); err != nil {
+			t.Fatal(err)
+		}
+		if err := eager.Observe(x, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, x := range xs {
+		observe(x)
+	}
+	if _, err := lazy.Forecast(streamStep); err != nil { // first forecast solves
+		t.Fatal(err)
+	}
+	frozen := append([]float64(nil), lazy.model.Coeffs...)
+
+	// A violent regime change the lazy model must not refit to yet.
+	for i := 0; i < 30; i++ {
+		observe(20 + float64(i%3))
+	}
+	if _, err := lazy.Forecast(streamStep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eager.Forecast(streamStep); err != nil {
+		t.Fatal(err)
+	}
+	for j := range frozen {
+		if lazy.model.Coeffs[j] != frozen[j] {
+			t.Fatalf("coeff %d moved between solve boundaries: %v -> %v",
+				j, frozen[j], lazy.model.Coeffs[j])
+		}
+	}
+	same := true
+	for j := range frozen {
+		if lazy.model.Coeffs[j] != eager.model.Coeffs[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("eager fit unchanged by the regime shift; test is vacuous")
+	}
+	// Model() forces a fresh solve regardless of cadence.
+	lm, err := lazy.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := eager.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range lm.Coeffs {
+		if !closeTo(lm.Coeffs[j], em.Coeffs[j]) {
+			t.Fatalf("post-Model coeff %d: %v vs %v", j, lm.Coeffs[j], em.Coeffs[j])
+		}
+	}
+}
+
+// TestStreamingRegistry checks both registries expose the streaming models
+// and the batch-interface adapter round-trips observations.
+func TestStreamingRegistry(t *testing.T) {
+	names := StreamingNames()
+	want := []string{StreamingAR, StreamingNormal, StreamingWindow}
+	if len(names) != len(want) {
+		t.Fatalf("streaming names %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("streaming names %v, want %v", names, want)
+		}
+	}
+	if _, err := NewStreaming("no-such-model", PredictorConfig{}); err == nil {
+		t.Fatal("unknown streaming name accepted")
+	}
+	for _, name := range want {
+		p, err := NewPredictor(name, PredictorConfig{Order: 2})
+		if err != nil {
+			t.Fatalf("batch registry missing %s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("adapter name %q, want %q", p.Name(), name)
+		}
+		at := time.Unix(0, 0)
+		for i := 0; i < 12; i++ {
+			at = at.Add(streamStep)
+			if err := p.Observe(at, 1+0.1*float64(i%4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Predict(time.Minute); err != nil {
+			t.Errorf("%s via adapter: %v", name, err)
+		}
+	}
+}
+
+// TestStreamingConcurrentReads exercises the concurrency contract: one
+// writer observing, many readers forecasting. Run under -race.
+func TestStreamingConcurrentReads(t *testing.T) {
+	for _, name := range []string{StreamingNormal, StreamingWindow, StreamingAR} {
+		sp, err := NewStreaming(name, PredictorConfig{Window: 64, Order: 4, Step: streamStep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if fc, err := sp.Forecast(time.Minute); err == nil {
+						if math.IsNaN(fc.Mean) {
+							t.Error("NaN forecast under concurrency")
+							return
+						}
+					}
+				}
+			}()
+		}
+		at := time.Unix(0, 0)
+		src := rng.New(3)
+		for i := 0; i < 2000; i++ {
+			at = at.Add(streamStep)
+			_ = sp.Observe(src.Uniform(0.1, 2), at)
+		}
+		close(stop)
+		wg.Wait()
+	}
+}

@@ -11,4 +11,6 @@ var (
 		"Spot-price observations accepted into per-host rings.")
 	mSamplesRejected = metrics.Default().Counter("pricefeed_samples_rejected_total",
 		"Spot-price observations refused at the ring boundary (non-finite, out-of-order, duplicate).")
+	mSinkRejected = metrics.Default().Counter("pricefeed_sink_rejects_total",
+		"Ring-accepted observations an attached sink (streaming predictor) refused.")
 )

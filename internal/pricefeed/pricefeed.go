@@ -3,7 +3,10 @@
 // and scheduling strategies (internal/strategy) see the same history the
 // market actually produced rather than an offline trace. Each host gets one
 // Ring; a Hub fans observations in from the auction's Observe injection
-// point (the same hook the trace recorder uses).
+// point (the same hook the trace recorder uses). The hub is lock-striped by
+// the repo-wide shard hash, and each host entry can carry attached Sinks —
+// streaming predictors whose state lives with the ring, updated once per
+// clear instead of refitted from a copied history per decision.
 //
 // The ring is a validation boundary in the spirit of predict.FitAR: a single
 // NaN, infinite price, out-of-order tick, or duplicate timestamp would
@@ -17,7 +20,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"tycoongrid/internal/shard"
 )
 
 // Errors returned by Ring.Observe.
@@ -139,12 +145,43 @@ func (r *Ring) Last() (Sample, bool) {
 // configured: two hours of the paper's 10-second reallocation ticks.
 const DefaultCapacity = 720
 
-// Hub fans per-host price observations into one Ring per host.
+// DefaultStripes is the hub's lock-stripe count. Hosts are spread over the
+// stripes by the repo-wide shard hash, so concurrent worlds, auctioneer
+// shards and strategy reads contend only when they touch hosts that landed
+// on the same stripe, never on one global hub lock.
+const DefaultStripes = 16
+
+// Sink consumes the same observation stream a host's ring records: the hook
+// that lets streaming predictor state live *with* the ring instead of being
+// rebuilt from copied history slices per forecast. Sinks must be safe for
+// concurrent use with their own readers; the hub serializes nothing beyond
+// the per-host observation order.
+type Sink interface {
+	Observe(at time.Time, price float64) error
+}
+
+// Hub fans per-host price observations into one Ring per host, plus any
+// attached per-host sinks, across lock-striped shards.
 type Hub struct {
-	mu       sync.Mutex
 	capacity int
-	rings    map[string]*Ring
-	rejected uint64
+	stripes  []hubStripe
+	rejected atomic.Uint64
+}
+
+// hubStripe is one lock stripe: an RWMutex-guarded slice of the host map.
+// Lookups of existing hosts (every Observe after the first) take only the
+// read lock; the write lock is taken once per host, to create its entry.
+type hubStripe struct {
+	mu    sync.RWMutex
+	hosts map[string]*hubEntry
+}
+
+// hubEntry is one host's feed state: the price ring and the sinks fed from
+// it. The ring has its own internal lock; entryMu guards only the sink list.
+type hubEntry struct {
+	ring    *Ring
+	entryMu sync.RWMutex
+	sinks   []Sink
 }
 
 // NewHub returns a hub whose rings hold capacity samples each
@@ -153,53 +190,108 @@ func NewHub(capacity int) *Hub {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Hub{capacity: capacity, rings: make(map[string]*Ring)}
+	h := &Hub{capacity: capacity, stripes: make([]hubStripe, DefaultStripes)}
+	for i := range h.stripes {
+		h.stripes[i].hosts = make(map[string]*hubEntry)
+	}
+	return h
+}
+
+func (h *Hub) stripe(hostID string) *hubStripe {
+	return &h.stripes[shard.Of(hostID, len(h.stripes))]
+}
+
+// peek returns hostID's entry without creating it.
+func (h *Hub) peek(hostID string) (*hubEntry, bool) {
+	s := h.stripe(hostID)
+	s.mu.RLock()
+	e, ok := s.hosts[hostID]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// entry returns hostID's entry, creating it on first use: a read-locked fast
+// path, then the classic upgrade — take the write lock and re-check before
+// creating, so two racing first observers agree on one entry.
+func (h *Hub) entry(hostID string) *hubEntry {
+	if e, ok := h.peek(hostID); ok {
+		return e
+	}
+	s := h.stripe(hostID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.hosts[hostID]; ok {
+		return e
+	}
+	ring, _ := NewRing(h.capacity) // capacity validated in NewHub
+	e := &hubEntry{ring: ring}
+	s.hosts[hostID] = e
+	return e
 }
 
 // Ring returns the ring for hostID, creating it on first use.
 func (h *Hub) Ring(hostID string) *Ring {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	r, ok := h.rings[hostID]
-	if !ok {
-		r, _ = NewRing(h.capacity) // capacity validated in NewHub
-		h.rings[hostID] = r
+	return h.entry(hostID).ring
+}
+
+// Attach subscribes a sink to hostID's observation stream: every sample the
+// host's ring accepts is forwarded to the sink, in ring order. This is how
+// streaming predictors colocate their state with the ring — one Observe per
+// market clear instead of one history copy per scheduling decision.
+func (h *Hub) Attach(hostID string, sink Sink) {
+	if sink == nil {
+		return
 	}
-	return r
+	e := h.entry(hostID)
+	e.entryMu.Lock()
+	// Copy-on-write so Observer can forward to a snapshot without holding
+	// the lock across sink calls.
+	sinks := make([]Sink, 0, len(e.sinks)+1)
+	sinks = append(sinks, e.sinks...)
+	e.sinks = append(sinks, sink)
+	e.entryMu.Unlock()
 }
 
 // Observer returns a callback with the auction Market.Observe signature that
-// records hostID's clears into its ring. Samples the ring's boundary rejects
-// (the market never produces them; a bug or clock glitch might) are counted,
-// not propagated — the feed is advisory and must not disturb the market.
+// records hostID's clears into its ring and forwards accepted samples to the
+// host's sinks. Samples the ring's boundary rejects (the market never
+// produces them; a bug or clock glitch might) are counted, not propagated —
+// the feed is advisory and must not disturb the market. Sink rejections are
+// likewise counted only: the ring already vetted the sample, so a sink
+// refusing it is the sink's own ordering state talking.
 func (h *Hub) Observer(hostID string) func(price float64, at time.Time) {
-	ring := h.Ring(hostID)
+	e := h.entry(hostID)
 	return func(price float64, at time.Time) {
-		if err := ring.Observe(at, price); err != nil {
-			h.mu.Lock()
-			h.rejected++
-			h.mu.Unlock()
+		if err := e.ring.Observe(at, price); err != nil {
+			h.rejected.Add(1)
 			mSamplesRejected.Inc()
 			return
 		}
 		mSamplesRecorded.Inc()
+		e.entryMu.RLock()
+		sinks := e.sinks
+		e.entryMu.RUnlock()
+		for _, s := range sinks {
+			if err := s.Observe(at, price); err != nil {
+				mSinkRejected.Inc()
+			}
+		}
 	}
 }
 
 // Rejected returns how many observations the hub's rings refused.
-func (h *Hub) Rejected() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.rejected
-}
+func (h *Hub) Rejected() uint64 { return h.rejected.Load() }
 
 // Hosts returns the hosts with a ring, sorted.
 func (h *Hub) Hosts() []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]string, 0, len(h.rings))
-	for id := range h.rings {
-		out = append(out, id)
+	var out []string
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.RLock()
+		for id := range s.hosts {
+			out = append(out, id)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -208,13 +300,11 @@ func (h *Hub) Hosts() []string {
 // History returns hostID's trailing prices, oldest first (nil when the host
 // has no ring yet). max > 0 keeps only the newest max values.
 func (h *Hub) History(hostID string, max int) []float64 {
-	h.mu.Lock()
-	r, ok := h.rings[hostID]
-	h.mu.Unlock()
+	e, ok := h.peek(hostID)
 	if !ok {
 		return nil
 	}
-	vs := r.Prices()
+	vs := e.ring.Prices()
 	if max > 0 && len(vs) > max {
 		vs = vs[len(vs)-max:]
 	}

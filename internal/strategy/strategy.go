@@ -25,12 +25,37 @@ import (
 	"tycoongrid/internal/predict"
 )
 
+// ForecastFunc is a streaming forecast handle: the partition's predictor
+// state already lives with its price ring (see predict.FeedForecasts), so a
+// strategy can read a forecast in O(1) without materializing history.
+type ForecastFunc func(horizon time.Duration) (predict.Forecast, error)
+
 // Candidate is one partition the strategy can pick.
+//
+// History may be provided eagerly, or lazily via Hist — strategies that never
+// need the raw series (predicted-* with a Forecast handle, current-price)
+// then skip the copy entirely. Forecast, when non-nil, short-circuits the
+// predicted strategies' rebuild-and-refit path.
 type Candidate struct {
 	ID           string
-	CurrentPrice float64       // mean spot price across the partition's live hosts
-	History      []float64     // recent mean prices, oldest first, spaced Step apart
-	Step         time.Duration // sampling interval of History
+	CurrentPrice float64          // mean spot price across the partition's live hosts
+	History      []float64        // recent mean prices, oldest first, spaced Step apart
+	Step         time.Duration    // sampling interval of History
+	Hist         func() []float64 // lazy History; consulted only when History is nil
+	Forecast     ForecastFunc     // streaming forecast handle; nil = refit from history
+}
+
+// history returns the candidate's price series, materializing and memoizing
+// the lazy Hist source on first use so portfolio math and predictor fallback
+// share one copy.
+func (c *Candidate) history() []float64 {
+	if c.History == nil && c.Hist != nil {
+		c.History = c.Hist()
+		if c.History == nil {
+			c.History = []float64{} // mark materialized: empty, not unfetched
+		}
+	}
+	return c.History
 }
 
 // Pick is a strategy's decision.
@@ -210,14 +235,14 @@ func (s *predicted) Pick(cands []Candidate) (Pick, error) {
 		return Pick{}, ErrNoCandidates
 	}
 	scores := make([]float64, len(cands))
-	for i, c := range cands {
-		scores[i] = s.score(c)
+	for i := range cands {
+		scores[i] = s.score(&cands[i])
 	}
 	i := s.rr.pick(argminScores(scores))
 	return Pick{Index: i, Predicted: scores[i]}, nil
 }
 
-func (s *predicted) score(c Candidate) float64 {
+func (s *predicted) score(c *Candidate) float64 {
 	f, err := s.forecast(c)
 	if err != nil {
 		return c.CurrentPrice
@@ -230,7 +255,12 @@ func (s *predicted) score(c Candidate) float64 {
 	return f.Mean
 }
 
-func (s *predicted) forecast(c Candidate) (predict.Forecast, error) {
+func (s *predicted) forecast(c *Candidate) (predict.Forecast, error) {
+	if c.Forecast != nil {
+		// Streaming handle: the predictor observed each clear as it happened,
+		// so the forecast is a read, not a rebuild.
+		return c.Forecast(s.cfg.Horizon)
+	}
 	step := c.Step
 	if step <= 0 {
 		step = predict.DefaultStep
@@ -245,7 +275,7 @@ func (s *predicted) forecast(c Candidate) (predict.Forecast, error) {
 	// History carries no wall-clock times; synthetic timestamps spaced Step
 	// apart preserve the spacing the predictor cares about.
 	t := time.Unix(0, 0)
-	for _, v := range c.History {
+	for _, v := range c.history() {
 		t = t.Add(step)
 		if err := p.Observe(t, v); err != nil {
 			return predict.Forecast{}, err
@@ -285,7 +315,7 @@ func (s *portfolioStrategy) Pick(cands []Candidate) (Pick, error) {
 	s.credits[cands[best].ID] -= 1
 
 	predicted := cands[best].CurrentPrice
-	if h := cands[best].History; len(h) > 0 {
+	if h := cands[best].history(); len(h) > 0 {
 		var sum float64
 		for _, v := range h {
 			sum += v
@@ -329,9 +359,9 @@ func (s *portfolioStrategy) weights(cands []Candidate) []float64 {
 // common time span; below minObs the portfolio math is not attempted.
 func returnSeries(cands []Candidate, minObs int) ([][]float64, []portfolio.Asset, bool) {
 	m := math.MaxInt
-	for _, c := range cands {
-		if len(c.History) < m {
-			m = len(c.History)
+	for i := range cands {
+		if n := len(cands[i].history()); n < m {
+			m = n
 		}
 	}
 	if m < minObs || m < 2 {
@@ -339,8 +369,10 @@ func returnSeries(cands []Candidate, minObs int) ([][]float64, []portfolio.Asset
 	}
 	series := make([][]float64, len(cands))
 	assets := make([]portfolio.Asset, len(cands))
-	for i, c := range cands {
-		tail := c.History[len(c.History)-m:]
+	for i := range cands {
+		c := &cands[i]
+		h := c.history()
+		tail := h[len(h)-m:]
 		rs := make([]float64, m)
 		var mean float64
 		for j, price := range tail {
